@@ -1,0 +1,81 @@
+//! Shared plumbing for the benchmark applications: simulated-address
+//! mirrors of CSR arrays and report bookkeeping.
+
+use npar_graph::Csr;
+use npar_sim::{GBuf, Gpu, Report};
+
+/// Simulated global-memory addresses of a CSR graph's arrays. The actual
+/// data stays in the [`Csr`]; kernels use these handles to record realistic
+/// memory traffic (row offsets are read coalesced, adjacency is streamed,
+/// per-node arrays are scattered — exactly the access mix the paper
+/// profiles).
+#[derive(Debug, Clone, Copy)]
+pub struct CsrBufs {
+    /// `row_offsets` (length `n + 1`).
+    pub row_offsets: GBuf<u32>,
+    /// `col_indices` (length `m`).
+    pub col_indices: GBuf<u32>,
+    /// Edge weights (length `m`), allocated even for unweighted graphs so
+    /// weighted and unweighted kernels share code paths.
+    pub weights: GBuf<f32>,
+}
+
+impl CsrBufs {
+    /// Allocate simulated addresses mirroring `g`.
+    pub fn alloc(gpu: &mut Gpu, g: &Csr) -> CsrBufs {
+        CsrBufs {
+            row_offsets: gpu.alloc::<u32>(g.num_nodes() + 1),
+            col_indices: gpu.alloc::<u32>(g.num_edges().max(1)),
+            weights: gpu.alloc::<f32>(g.num_edges().max(1)),
+        }
+    }
+}
+
+/// Accumulate per-iteration reports of an iterative algorithm into one.
+#[derive(Debug, Default)]
+pub struct ReportAcc {
+    merged: Report,
+}
+
+impl ReportAcc {
+    /// Fold one batch report in.
+    pub fn push(&mut self, r: &Report) {
+        self.merged.merge(r);
+    }
+
+    /// The combined report.
+    pub fn finish(self) -> Report {
+        self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npar_graph::uniform_random;
+
+    #[test]
+    fn csr_bufs_sizes_match_graph() {
+        let g = uniform_random(100, 1, 5, 1);
+        let mut gpu = Gpu::k20();
+        let bufs = CsrBufs::alloc(&mut gpu, &g);
+        assert_eq!(bufs.row_offsets.len(), 101);
+        assert_eq!(bufs.col_indices.len(), g.num_edges());
+        assert_eq!(bufs.weights.len(), g.num_edges());
+    }
+
+    #[test]
+    fn report_acc_merges() {
+        let mut acc = ReportAcc::default();
+        let r = Report {
+            cycles: 10.0,
+            host_launches: 1,
+            ..Default::default()
+        };
+        acc.push(&r);
+        acc.push(&r);
+        let total = acc.finish();
+        assert_eq!(total.cycles, 20.0);
+        assert_eq!(total.host_launches, 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! # npar-apps — the paper's benchmark applications
+//!
+//! Every workload from the ICPP'15 evaluation, each with (a) serial CPU
+//! reference implementation(s) instrumented with operation counters and (b)
+//! a GPU formulation that runs under the npar-core parallelization
+//! templates on the npar-sim simulator:
+//!
+//! * irregular nested loops — [`spmv`], [`sssp`], [`bc`], [`pagerank`];
+//! * recursive computations — [`tree_apps`] (descendants & heights) and
+//!   [`bfs`] (flat + recursive variants);
+//! * the Figure 2 sorting case study — [`sort`].
+
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod bfs;
+pub mod common;
+pub mod pagerank;
+pub mod sort;
+pub mod spmv;
+pub mod sssp;
+pub mod tree_apps;

@@ -1,0 +1,193 @@
+//! Cross-template/app consistency checks beyond the per-module unit tests:
+//! results must be invariant across templates, thresholds, block sizes and
+//! stream counts, and the apps must compose with the dataset parsers.
+
+use npar_apps::{bc, bfs, pagerank, sort, spmv, sssp, tree_apps};
+use npar_core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
+use npar_graph::{io, uniform_random, with_random_weights, wiki_vote_like};
+use npar_sim::Gpu;
+use npar_tree::TreeGen;
+
+fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x.is_infinite() && y.is_infinite()) || (x - y).abs() <= tol)
+}
+
+#[test]
+fn sssp_through_the_dimacs_parser() {
+    // Build a DIMACS file in memory, parse it, and solve on the GPU.
+    let mut text = String::from("c synthetic\np sp 60 180\n");
+    let g0 = with_random_weights(&uniform_random(60, 3, 3, 5), 9, 6);
+    for u in 0..60 {
+        for (j, &v) in g0.neighbors(u).iter().enumerate() {
+            let w = g0.weights_of(u).unwrap()[j];
+            text.push_str(&format!("a {} {} {}\n", u + 1, v + 1, w));
+        }
+    }
+    let g = io::parse_dimacs(text.as_bytes()).unwrap();
+    assert_eq!(g.num_edges(), g0.num_edges());
+    let (cpu, _) = sssp::sssp_cpu(&g, 0);
+    let mut gpu = Gpu::k20();
+    let r = sssp::sssp_gpu(&mut gpu, &g, 0, LoopTemplate::DualQueue, &LoopParams::default());
+    assert!(close(&r.dist, &cpu, 1e-3));
+}
+
+#[test]
+fn spmv_through_matrix_market() {
+    let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                4 4 5\n\
+                1 1 2.0\n\
+                2 1 1.0\n\
+                3 2 4.0\n\
+                4 3 0.5\n\
+                4 4 1.5\n";
+    let a = io::parse_matrix_market(text.as_bytes()).unwrap();
+    let x = vec![1.0f32, 2.0, 3.0, 4.0];
+    let (y_cpu, _) = spmv::spmv_cpu(&a, &x);
+    // Row 0: 2*x0 + 1*x1 (mirrored) = 4; row 1: 1*x0 + 4*x2 = 13.
+    assert!((y_cpu[0] - 4.0).abs() < 1e-6);
+    assert!((y_cpu[1] - 13.0).abs() < 1e-6);
+    for template in [LoopTemplate::ThreadMapped, LoopTemplate::BlockMapped] {
+        let mut gpu = Gpu::k20();
+        let r = spmv::spmv_gpu(&mut gpu, &a, &x, template, &LoopParams::default());
+        assert!(close(&r.y, &y_cpu, 1e-4));
+    }
+}
+
+#[test]
+fn every_template_and_threshold_agrees_on_sssp() {
+    let g = with_random_weights(&uniform_random(150, 1, 20, 77), 9, 78);
+    let (cpu, _) = sssp::sssp_cpu(&g, 3);
+    for template in LoopTemplate::ALL {
+        for lb in [8usize, 32, 512] {
+            let mut gpu = Gpu::k20();
+            let r = sssp::sssp_gpu(&mut gpu, &g, 3, template, &LoopParams::with_lb_thres(lb));
+            assert!(close(&r.dist, &cpu, 1e-3), "{template} lb={lb}");
+        }
+    }
+}
+
+#[test]
+fn block_sizes_do_not_change_results() {
+    let g = uniform_random(200, 0, 30, 11);
+    let x = vec![1.5f32; 200];
+    let (y_cpu, _) = spmv::spmv_cpu(&g, &x);
+    for bs in [32u32, 64, 256, 1024] {
+        let params = LoopParams {
+            block_block: bs,
+            ..Default::default()
+        };
+        let mut gpu = Gpu::k20();
+        let r = spmv::spmv_gpu(&mut gpu, &g, &x, LoopTemplate::DbufGlobal, &params);
+        assert!(close(&r.y, &y_cpu, 1e-3), "block size {bs}");
+    }
+}
+
+#[test]
+fn stream_counts_do_not_change_results() {
+    let g = uniform_random(300, 1, 10, 13);
+    let (cpu, _) = bfs::bfs_cpu_iterative(&g, 0);
+    for streams in [1u32, 2, 3, 8] {
+        let mut gpu = Gpu::k20();
+        let r = bfs::bfs_recursive_gpu(&mut gpu, &g, 0, bfs::RecBfsVariant::Hier, streams);
+        assert_eq!(r.level, cpu, "streams={streams}");
+    }
+    // Host stream-mapped loop template as well.
+    for host_streams in [1u32, 3, 7] {
+        let params = LoopParams {
+            host_streams,
+            ..Default::default()
+        };
+        let mut gpu = Gpu::k20();
+        let r = bfs::bfs_flat_gpu(&mut gpu, &g, 0, LoopTemplate::StreamMapped, &params);
+        assert_eq!(r.level, cpu, "host_streams={host_streams}");
+    }
+}
+
+#[test]
+fn bc_is_deterministic_and_source_additive() {
+    let g = wiki_vote_like(3);
+    let s1 = bc::sample_sources(&g, 2);
+    let (a, _) = bc::bc_cpu(&g, &s1);
+    let (b, _) = bc::bc_cpu(&g, &s1);
+    assert_eq!(a, b);
+    // BC over a source set equals the sum of per-source BC.
+    let (all, _) = bc::bc_cpu(&g, &s1);
+    let (p1, _) = bc::bc_cpu(&g, &s1[..1]);
+    let (p2, _) = bc::bc_cpu(&g, &s1[1..]);
+    for i in 0..g.num_nodes() {
+        assert!((all[i] - (p1[i] + p2[i])).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tree_apps_profile_counts_scale_with_shape() {
+    // Flat atomics equal the sum of node depths; hier launches equal the
+    // internal nodes with grandchildren (+1 host launch).
+    let tree = TreeGen {
+        depth: 4,
+        outdegree: 5,
+        sparsity: 0,
+        seed: 9,
+    }
+    .generate();
+    let mut gpu = Gpu::k20();
+    let flat = tree_apps::tree_gpu(
+        &mut gpu,
+        &tree,
+        tree_apps::TreeMetric::Descendants,
+        RecTemplate::Flat,
+        &RecParams::default(),
+    );
+    let depth_sum: u64 = (0..tree.num_nodes()).map(|v| u64::from(tree.level(v))).sum();
+    assert_eq!(flat.report.total().atomics(), depth_sum);
+
+    let mut gpu = Gpu::k20();
+    let hier = tree_apps::tree_gpu(
+        &mut gpu,
+        &tree,
+        tree_apps::TreeMetric::Heights,
+        RecTemplate::RecHier,
+        &RecParams::default(),
+    );
+    // Depth-4 regular tree: nested launches = level-1 nodes.
+    assert_eq!(hier.report.device_launches, 5);
+}
+
+#[test]
+fn sort_reports_scale_monotonically() {
+    // More elements => more modeled time, for every algorithm.
+    let mk = |n: usize| -> Vec<u32> { (0..n as u32).map(|x| x.wrapping_mul(0x9E3779B9)).collect() };
+    for algo in [
+        sort::SortAlgo::MergeFlat,
+        sort::SortAlgo::QuickAdvanced,
+        sort::SortAlgo::QuickSimple,
+    ] {
+        let mut prev = 0.0;
+        for n in [1000usize, 4000, 16000] {
+            let mut gpu = Gpu::k20();
+            let r = sort::sort_gpu(&mut gpu, &mk(n), algo, &sort::SortParams::default());
+            assert!(
+                r.report.seconds > prev,
+                "{} not monotone at n={n}",
+                algo.label()
+            );
+            prev = r.report.seconds;
+        }
+    }
+}
+
+#[test]
+fn pagerank_iterations_converge() {
+    let g = uniform_random(150, 1, 8, 17);
+    let (r5, _) = pagerank::pagerank_cpu(&g, 5);
+    let (r30, _) = pagerank::pagerank_cpu(&g, 30);
+    let (r31, _) = pagerank::pagerank_cpu(&g, 31);
+    // Successive iterates converge; 30 vs 31 closer than 5 vs 30.
+    let d_a: f64 = r5.iter().zip(&r30).map(|(a, b)| (a - b).abs()).sum();
+    let d_b: f64 = r30.iter().zip(&r31).map(|(a, b)| (a - b).abs()).sum();
+    assert!(d_b < d_a);
+    assert!(d_b < 1e-6);
+}

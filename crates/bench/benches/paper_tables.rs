@@ -1,0 +1,197 @@
+//! Criterion benches mirroring the paper's tables and figures at
+//! bench-friendly scale: each group times the simulator running one
+//! experiment point, so `cargo bench` tracks regressions in both the
+//! templates and the simulator itself.
+//!
+//! * `fig2/...` — the three sort implementations;
+//! * `fig5/...` — SSSP under each loop template;
+//! * `fig6/...` — PageRank and SpMV lbTHRES points;
+//! * `fig7/...` — tree descendants under each recursive template;
+//! * `fig9/...` — recursive BFS variants;
+//! * `table1/...` — the profiling run behind Table I.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use npar_apps::{bfs, pagerank, sort, spmv, sssp, tree_apps};
+use npar_core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
+use npar_graph::{citeseer_like, uniform_random, with_random_weights};
+use npar_sim::Gpu;
+use npar_tree::TreeGen;
+
+/// Bench-scale stand-ins (milliseconds per iteration, not minutes).
+fn small_citeseer() -> npar_graph::Csr {
+    with_random_weights(&citeseer_like(4_000, 1), 10, 2)
+}
+
+fn bench_fig5_sssp(c: &mut Criterion) {
+    let g = small_citeseer();
+    let mut group = c.benchmark_group("fig5_sssp");
+    group.sample_size(10);
+    for template in LoopTemplate::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(template.label()),
+            &template,
+            |b, &template| {
+                b.iter(|| {
+                    let mut gpu = Gpu::k20();
+                    sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig6_loops(c: &mut Criterion) {
+    let g = small_citeseer();
+    let x: Vec<f32> = (0..g.num_nodes()).map(|i| i as f32).collect();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    for lb in [32usize, 256] {
+        group.bench_with_input(BenchmarkId::new("spmv_dbuf_shared", lb), &lb, |b, &lb| {
+            b.iter(|| {
+                let mut gpu = Gpu::k20();
+                spmv::spmv_gpu(
+                    &mut gpu,
+                    &g,
+                    &x,
+                    LoopTemplate::DbufShared,
+                    &LoopParams::with_lb_thres(lb),
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("pagerank_dbuf_global", lb),
+            &lb,
+            |b, &lb| {
+                b.iter(|| {
+                    let mut gpu = Gpu::k20();
+                    pagerank::pagerank_gpu(
+                        &mut gpu,
+                        &g,
+                        2,
+                        LoopTemplate::DbufGlobal,
+                        &LoopParams::with_lb_thres(lb),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig7_trees(c: &mut Criterion) {
+    let tree = TreeGen {
+        depth: 4,
+        outdegree: 32,
+        sparsity: 0,
+        seed: 3,
+    }
+    .generate();
+    let mut group = c.benchmark_group("fig7_tree_descendants");
+    group.sample_size(10);
+    for template in RecTemplate::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(template.label()),
+            &template,
+            |b, &template| {
+                b.iter(|| {
+                    let mut gpu = Gpu::k20();
+                    tree_apps::tree_gpu(
+                        &mut gpu,
+                        &tree,
+                        tree_apps::TreeMetric::Descendants,
+                        template,
+                        &RecParams::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig9_bfs(c: &mut Criterion) {
+    let g = uniform_random(2_000, 1, 32, 5);
+    let mut group = c.benchmark_group("fig9_recursive_bfs");
+    group.sample_size(10);
+    group.bench_function("flat", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::k20();
+            bfs::bfs_flat_gpu(
+                &mut gpu,
+                &g,
+                0,
+                LoopTemplate::ThreadMapped,
+                &LoopParams::default(),
+            )
+        })
+    });
+    for (label, variant, streams) in [
+        ("naive", bfs::RecBfsVariant::Naive, 1u32),
+        ("naive+stream", bfs::RecBfsVariant::Naive, 2),
+        ("hier", bfs::RecBfsVariant::Hier, 1),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::k20();
+                bfs::bfs_recursive_gpu(&mut gpu, &g, 0, variant, streams)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig2_sorts(c: &mut Criterion) {
+    let data: Vec<u32> = (0..20_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
+    let mut group = c.benchmark_group("fig2_sort");
+    group.sample_size(10);
+    for algo in [
+        sort::SortAlgo::MergeFlat,
+        sort::SortAlgo::QuickSimple,
+        sort::SortAlgo::QuickAdvanced,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, &algo| {
+                b.iter(|| {
+                    let mut gpu = Gpu::k20();
+                    sort::sort_gpu(&mut gpu, &data, algo, &sort::SortParams::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_table1_profile(c: &mut Criterion) {
+    let g = small_citeseer();
+    let mut group = c.benchmark_group("table1_profile");
+    group.sample_size(10);
+    group.bench_function("sssp_profiled_baseline", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::k20();
+            let r = sssp::sssp_gpu(
+                &mut gpu,
+                &g,
+                0,
+                LoopTemplate::ThreadMapped,
+                &LoopParams::default(),
+            );
+            r.report.total().warp_execution_efficiency()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_sssp,
+    bench_fig6_loops,
+    bench_fig7_trees,
+    bench_fig9_bfs,
+    bench_fig2_sorts,
+    bench_table1_profile
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation: sensitivity of the dynamic-parallelism results to the
+//! launch-overhead constants (DESIGN.md §6). The dpar-naive pathology and
+//! the rec-hier advantage must be *robust* across plausible Kepler
+//! overheads, not an artifact of one constant: this sweep scales the
+//! device-launch service/latency pair from one quarter to four times the
+//! default and reports the SSSP template ordering and the tree-template
+//! ordering at each point.
+
+use npar_apps::{sssp, tree_apps};
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
+use npar_sim::{CostModel, DeviceConfig, Gpu};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    overhead_scale: f64,
+    sssp_baseline: f64,
+    sssp_dbuf_shared: f64,
+    sssp_dpar_opt: f64,
+    sssp_dpar_naive: f64,
+    tree_flat: f64,
+    tree_rec_hier: f64,
+    tree_rec_naive: f64,
+}
+
+fn main() {
+    let g = datasets::citeseer();
+    let tree = datasets::fig78_tree(128, 0);
+    let scales = vec![0.25f64, 0.5, 1.0, 2.0, 4.0];
+
+    let rows: Vec<Row> = runner::parallel_map(scales, move |scale| {
+        let g = g.clone();
+        let tree = tree.clone();
+        runner::with_big_stack(move || {
+            let mut cost = CostModel::default();
+            cost.device_launch_service_cycles *= scale;
+            cost.device_launch_latency_cycles *= scale;
+            cost.device_launch_issue_cycles *= scale;
+
+            let sssp_time = |template| {
+                let mut gpu = Gpu::new(DeviceConfig::kepler_k20(), cost.clone());
+                sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
+                    .report
+                    .seconds
+            };
+            let tree_time = |template| {
+                let mut gpu = Gpu::new(DeviceConfig::kepler_k20(), cost.clone());
+                tree_apps::tree_gpu(
+                    &mut gpu,
+                    &tree,
+                    tree_apps::TreeMetric::Descendants,
+                    template,
+                    &RecParams::default(),
+                )
+                .report
+                .seconds
+            };
+            Row {
+                overhead_scale: scale,
+                sssp_baseline: sssp_time(LoopTemplate::ThreadMapped),
+                sssp_dbuf_shared: sssp_time(LoopTemplate::DbufShared),
+                sssp_dpar_opt: sssp_time(LoopTemplate::DparOpt),
+                sssp_dpar_naive: sssp_time(LoopTemplate::DparNaive),
+                tree_flat: tree_time(RecTemplate::Flat),
+                tree_rec_hier: tree_time(RecTemplate::RecHier),
+                tree_rec_naive: tree_time(RecTemplate::RecNaive),
+            }
+        })
+    });
+
+    let mut t = table::Table::new(
+        "Ablation — DP overhead scale vs template times",
+        &[
+            "scale",
+            "sssp base",
+            "dbuf-shared",
+            "dpar-opt",
+            "dpar-naive",
+            "tree flat",
+            "rec-hier",
+            "rec-naive",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            format!("{:.2}x", r.overhead_scale),
+            table::ms(r.sssp_baseline),
+            table::ms(r.sssp_dbuf_shared),
+            table::ms(r.sssp_dpar_opt),
+            table::ms(r.sssp_dpar_naive),
+            table::ms(r.tree_flat),
+            table::ms(r.tree_rec_hier),
+            table::ms(r.tree_rec_naive),
+        ]);
+    }
+    results::save("ablation_dp_overhead", &[t], &rows);
+}

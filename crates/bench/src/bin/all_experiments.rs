@@ -1,0 +1,42 @@
+//! Run every paper experiment in sequence (the full reproduction sweep):
+//! Figures 2, 4, 5, 6, 7, 8, 9, Tables I and II, the baseline-speedup
+//! check and the ablations. Each sub-experiment writes its tables under
+//! `results/`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "baseline_speedups",
+    "fig2_sort",
+    "fig4_spmv_blocksize",
+    "fig5_sssp",
+    "table1_sssp_profile",
+    "fig6_lbthres",
+    "table2_warp_eff",
+    "fig7_tree_descendants",
+    "fig8_tree_heights",
+    "fig9_recursive_bfs",
+    "ablation_dp_overhead",
+    "ablation_lockstep",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        println!("\n##### {exp} #####");
+        let status = Command::new(dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e}"));
+        if !status.success() {
+            eprintln!("experiment {exp} failed: {status}");
+            failures.push(*exp);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; tables written to results/");
+    } else {
+        panic!("experiments failed: {failures:?}");
+    }
+}

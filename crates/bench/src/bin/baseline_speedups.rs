@@ -1,0 +1,112 @@
+//! §III.B calibration check: speedups of the *baseline thread-mapped* GPU
+//! implementations over the serial CPU codes. The paper reports 8.2x
+//! (SSSP), 2.5x (BC), 15.8x (PageRank) and 2.4x (SpMV); this binary prints
+//! ours next to those targets (cost-model exchange rates are frozen, see
+//! DESIGN.md §4).
+
+use npar_apps::{bc, pagerank, spmv, sssp};
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::{CpuConfig, Gpu};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    cpu_seconds: f64,
+    gpu_seconds: f64,
+    speedup: f64,
+    paper_speedup: f64,
+}
+
+fn main() {
+    let rows = runner::with_big_stack(run);
+    let mut t = table::Table::new(
+        "Baseline thread-mapped GPU vs serial CPU (paper §III.B)",
+        &["app", "cpu", "gpu", "speedup", "paper"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.app.clone(),
+            table::ms(r.cpu_seconds),
+            table::ms(r.gpu_seconds),
+            table::fx(r.speedup),
+            table::fx(r.paper_speedup),
+        ]);
+    }
+    results::save("baseline_speedups", &[t], &rows);
+}
+
+fn run() -> Vec<Row> {
+    let cpu_cfg = CpuConfig::xeon_e5_2620();
+    let params = LoopParams::default();
+    let mut rows = Vec::new();
+
+    // SSSP on CiteSeer (weighted).
+    {
+        let g = datasets::citeseer();
+        let (_, counter) = sssp::sssp_cpu(&g, 0);
+        let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
+        let mut gpu = Gpu::k20();
+        let r = sssp::sssp_gpu(&mut gpu, &g, 0, LoopTemplate::ThreadMapped, &params);
+        rows.push(Row {
+            app: "SSSP".into(),
+            cpu_seconds: cpu_s,
+            gpu_seconds: r.report.seconds,
+            speedup: cpu_s / r.report.seconds,
+            paper_speedup: 8.2,
+        });
+    }
+
+    // BC on Wiki-Vote (sampled sources).
+    {
+        let g = datasets::wiki_vote();
+        let sources = bc::sample_sources(&g, 8);
+        let (_, counter) = bc::bc_cpu(&g, &sources);
+        let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
+        let mut gpu = Gpu::k20();
+        let r = bc::bc_gpu(&mut gpu, &g, &sources, LoopTemplate::ThreadMapped, &params);
+        rows.push(Row {
+            app: "BC".into(),
+            cpu_seconds: cpu_s,
+            gpu_seconds: r.report.seconds,
+            speedup: cpu_s / r.report.seconds,
+            paper_speedup: 2.5,
+        });
+    }
+
+    // PageRank on CiteSeer (5 iterations).
+    {
+        let g = datasets::citeseer_unweighted();
+        let (_, counter) = pagerank::pagerank_cpu(&g, 5);
+        let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
+        let mut gpu = Gpu::k20();
+        let r = pagerank::pagerank_gpu(&mut gpu, &g, 5, LoopTemplate::ThreadMapped, &params);
+        rows.push(Row {
+            app: "PageRank".into(),
+            cpu_seconds: cpu_s,
+            gpu_seconds: r.report.seconds,
+            speedup: cpu_s / r.report.seconds,
+            paper_speedup: 15.8,
+        });
+    }
+
+    // SpMV on CiteSeer (weighted matrix).
+    {
+        let g = datasets::citeseer();
+        let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
+        let (_, counter) = spmv::spmv_cpu(&g, &x);
+        let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
+        let mut gpu = Gpu::k20();
+        let r = spmv::spmv_gpu(&mut gpu, &g, &x, LoopTemplate::ThreadMapped, &params);
+        rows.push(Row {
+            app: "SpMV".into(),
+            cpu_seconds: cpu_s,
+            gpu_seconds: r.report.seconds,
+            speedup: cpu_s / r.report.seconds,
+            paper_speedup: 2.4,
+        });
+    }
+
+    rows
+}

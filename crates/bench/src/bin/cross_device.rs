@@ -1,0 +1,85 @@
+//! Generality check (not a paper figure): do the template orderings
+//! survive a device change? Runs the Figure 5 comparison on the K20 and on
+//! a GTX-Titan-class Kepler; the paper's templates target the hardware
+//! *hierarchy*, so the winners should not move between same-family parts.
+
+use npar_apps::sssp;
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::{CostModel, DeviceConfig, Gpu};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    device: String,
+    template: String,
+    seconds: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let g = datasets::citeseer();
+    let devices = vec![DeviceConfig::kepler_k20(), DeviceConfig::gtx_titan()];
+    let templates = [
+        LoopTemplate::ThreadMapped,
+        LoopTemplate::DualQueue,
+        LoopTemplate::DbufShared,
+        LoopTemplate::DbufGlobal,
+        LoopTemplate::DparOpt,
+    ];
+
+    let rows: Vec<Vec<Row>> = runner::parallel_map(devices, move |device| {
+        let g = g.clone();
+        runner::with_big_stack(move || {
+            let time = |template| {
+                let mut gpu = Gpu::new(device.clone(), CostModel::default());
+                sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
+                    .report
+                    .seconds
+            };
+            let base = time(LoopTemplate::ThreadMapped);
+            templates
+                .iter()
+                .map(|&t| {
+                    let seconds = time(t);
+                    Row {
+                        device: device.name.clone(),
+                        template: t.to_string(),
+                        seconds,
+                        speedup: base / seconds,
+                    }
+                })
+                .collect()
+        })
+    });
+
+    let mut t = table::Table::new(
+        "Cross-device — SSSP template speedups, K20 vs GTX Titan (lbTHRES=32)",
+        &["template", "K20", "Titan"],
+    );
+    for (i, template) in templates.iter().enumerate() {
+        t.row(vec![
+            template.to_string(),
+            table::fx(rows[0][i].speedup),
+            table::fx(rows[1][i].speedup),
+        ]);
+    }
+    let flat: Vec<&Row> = rows.iter().flatten().collect();
+    results::save("cross_device", &[t], &flat);
+
+    // Template speedups must agree closely between same-family parts
+    // (dpar-opt and dbuf-shared are within noise of each other on both, as
+    // in the paper, so exact rank ordering is not required).
+    for (a, b) in rows[0].iter().zip(&rows[1]) {
+        let rel = (a.speedup - b.speedup).abs() / a.speedup.max(b.speedup);
+        assert!(
+            rel < 0.10,
+            "{} speedup moved {:.0}% across devices ({:.2}x vs {:.2}x)",
+            a.template,
+            rel * 100.0,
+            a.speedup,
+            b.speedup
+        );
+    }
+    println!("template speedups agree within 10% across both Kepler parts");
+}

@@ -1,0 +1,81 @@
+//! Figure 2: execution time of the sort implementations (Simple QuickSort
+//! and Advanced QuickSort via dynamic parallelism vs flat MergeSort) on
+//! uniform random arrays from 300 k to 2 M elements. The paper's finding:
+//! Advanced beats Simple, and the non-recursive MergeSort beats both.
+
+use npar_apps::sort::{sort_gpu, SortAlgo, SortParams};
+use npar_bench::{datasets, results, runner, table};
+use npar_sim::Gpu;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    elements: usize,
+    algo: String,
+    seconds: f64,
+    nested_launches: u64,
+}
+
+fn main() {
+    // Paper sizes 300k..2M, scaled with the rest of the harness.
+    let scale = datasets::scale().max(0.1);
+    let sizes: Vec<usize> = [300_000f64, 700_000.0, 1_200_000.0, 2_000_000.0]
+        .iter()
+        .map(|&s| (s * scale) as usize)
+        .collect();
+
+    let mut jobs = Vec::new();
+    for &n in &sizes {
+        for algo in [
+            SortAlgo::QuickSimple,
+            SortAlgo::QuickAdvanced,
+            SortAlgo::MergeFlat,
+        ] {
+            jobs.push((n, algo));
+        }
+    }
+    let rows: Vec<Row> = runner::parallel_map(jobs, |(n, algo)| {
+        runner::with_big_stack(move || {
+            let mut rng = ChaCha8Rng::seed_from_u64(datasets::SEED + n as u64);
+            let data: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+            let mut gpu = Gpu::k20();
+            let r = sort_gpu(&mut gpu, &data, algo, &SortParams::default());
+            let mut sorted = data;
+            sorted.sort_unstable();
+            assert_eq!(r.data, sorted, "{} mis-sorted", algo.label());
+            Row {
+                elements: n,
+                algo: algo.label().to_string(),
+                seconds: r.report.seconds,
+                nested_launches: r.report.device_launches,
+            }
+        })
+    });
+
+    let mut t = table::Table::new(
+        "Figure 2 — sort execution time (uniform random u32)",
+        &[
+            "elements",
+            "simple-quicksort",
+            "advanced-quicksort",
+            "mergesort",
+        ],
+    );
+    for &n in &sizes {
+        let cell = |name: &str| {
+            rows.iter()
+                .find(|r| r.elements == n && r.algo == name)
+                .map(|r| table::ms(r.seconds))
+                .unwrap_or_default()
+        };
+        t.row(vec![
+            table::count(n as u64),
+            cell("simple-quicksort"),
+            cell("advanced-quicksort"),
+            cell("mergesort"),
+        ]);
+    }
+    results::save("fig2_sort", &[t], &rows);
+}

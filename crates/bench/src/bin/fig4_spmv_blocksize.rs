@@ -1,0 +1,110 @@
+//! Figure 4: SpMV — sensitivity of the load-balancing templates to the
+//! block size used in the block-mapped portions of the code, under
+//! lbTHRES ∈ {64, 128, 192}. The paper's finding: performance is largely
+//! insensitive to block size and driven by lbTHRES, with small blocks (64)
+//! best for small thresholds.
+
+use npar_apps::spmv;
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::Gpu;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    template: String,
+    lb_thres: usize,
+    block_size: u32,
+    seconds: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let g = datasets::citeseer();
+    let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
+
+    let base = {
+        let g = g.clone();
+        let x = x.clone();
+        runner::with_big_stack(move || {
+            let mut gpu = Gpu::k20();
+            spmv::spmv_gpu(
+                &mut gpu,
+                &g,
+                &x,
+                LoopTemplate::ThreadMapped,
+                &LoopParams::default(),
+            )
+            .report
+            .seconds
+        })
+    };
+
+    // dpar-naive omitted like in the paper's chart ("significantly slower
+    // than the other code variants").
+    let templates = [
+        LoopTemplate::DualQueue,
+        LoopTemplate::DbufShared,
+        LoopTemplate::DbufGlobal,
+        LoopTemplate::DparOpt,
+    ];
+    let mut jobs = Vec::new();
+    for lb in [64usize, 128, 192] {
+        for bs in [64u32, 128, 192, 256, 512] {
+            for t in templates {
+                jobs.push((t, lb, bs));
+            }
+        }
+    }
+    let rows: Vec<Row> = runner::parallel_map(jobs, move |(template, lb, bs)| {
+        let g = g.clone();
+        let x = x.clone();
+        runner::with_big_stack(move || {
+            let mut gpu = Gpu::k20();
+            let params = LoopParams {
+                lb_thres: lb,
+                block_block: bs,
+                ..Default::default()
+            };
+            let r = spmv::spmv_gpu(&mut gpu, &g, &x, template, &params);
+            Row {
+                template: template.to_string(),
+                lb_thres: lb,
+                block_size: bs,
+                seconds: r.report.seconds,
+                speedup: base / r.report.seconds,
+            }
+        })
+    });
+
+    let mut tables = Vec::new();
+    for lb in [64usize, 128, 192] {
+        let mut t = table::Table::new(
+            format!("Figure 4 — SpMV speedup over baseline, lbTHRES={lb} (CiteSeer)"),
+            &[
+                "block size",
+                "dual-queue",
+                "dbuf-shared",
+                "dbuf-global",
+                "dpar-opt",
+            ],
+        );
+        for bs in [64u32, 128, 192, 256, 512] {
+            let cell = |name: &str| {
+                rows.iter()
+                    .find(|r| r.lb_thres == lb && r.block_size == bs && r.template == name)
+                    .map(|r| table::fx(r.speedup))
+                    .unwrap_or_default()
+            };
+            t.row(vec![
+                bs.to_string(),
+                cell("dual-queue"),
+                cell("dbuf-shared"),
+                cell("dbuf-global"),
+                cell("dpar-opt"),
+            ]);
+        }
+        tables.push(t);
+    }
+    results::save("fig4_spmv_blocksize", &tables, &rows);
+}

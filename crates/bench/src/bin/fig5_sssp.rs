@@ -1,0 +1,84 @@
+//! Figure 5: SSSP on CiteSeer — speedup of the five load-balancing
+//! templates over the baseline thread-mapped implementation, with the
+//! number of nested kernel calls of the dynamic-parallelism variants.
+
+use npar_apps::sssp;
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::Gpu;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    template: String,
+    lb_thres: usize,
+    seconds: f64,
+    speedup: f64,
+    nested_launches: u64,
+}
+
+fn main() {
+    let g = datasets::citeseer();
+    println!(
+        "dataset: CiteSeer-like, {}",
+        npar_graph::DegreeStats::of(&g)
+    );
+
+    let base = runner::with_big_stack({
+        let g = g.clone();
+        move || {
+            let mut gpu = Gpu::k20();
+            sssp::sssp_gpu(
+                &mut gpu,
+                &g,
+                0,
+                LoopTemplate::ThreadMapped,
+                &LoopParams::default(),
+            )
+        }
+    });
+    println!(
+        "baseline thread-mapped: {} ({} iterations)",
+        table::ms(base.report.seconds),
+        base.iterations
+    );
+
+    let lb_values = [32usize, 64, 128, 256, 1024];
+    let mut jobs = Vec::new();
+    for template in LoopTemplate::LOAD_BALANCED {
+        for lb in lb_values {
+            jobs.push((template, lb));
+        }
+    }
+    let g2 = g.clone();
+    let rows: Vec<Row> = runner::parallel_map(jobs, move |(template, lb)| {
+        let g = g2.clone();
+        let base_s = base.report.seconds;
+        runner::with_big_stack(move || {
+            let mut gpu = Gpu::k20();
+            let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(lb));
+            Row {
+                template: template.to_string(),
+                lb_thres: lb,
+                seconds: r.report.seconds,
+                speedup: base_s / r.report.seconds,
+                nested_launches: r.report.device_launches,
+            }
+        })
+    });
+
+    let mut t = table::Table::new(
+        "Figure 5 — SSSP speedup over thread-mapped baseline (CiteSeer)",
+        &["template", "lbTHRES", "time", "speedup", "nested-calls"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.template.clone(),
+            r.lb_thres.to_string(),
+            table::ms(r.seconds),
+            table::fx(r.speedup),
+            table::count(r.nested_launches),
+        ]);
+    }
+    results::save("fig5_sssp", &[t], &rows);
+}

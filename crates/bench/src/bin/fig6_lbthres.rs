@@ -1,0 +1,138 @@
+//! Figure 6: BC (Wiki-Vote), PageRank and SpMV (CiteSeer) — speedup of the
+//! load-balancing templates over the thread-mapped baseline across
+//! lbTHRES settings. dpar-naive is omitted from the chart like in the
+//! paper (it is significantly slower throughout).
+
+use npar_apps::{bc, pagerank, spmv};
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_graph::Csr;
+use npar_sim::Gpu;
+use serde::Serialize;
+
+const LB_VALUES: [usize; 5] = [32, 64, 128, 256, 1024];
+const TEMPLATES: [LoopTemplate; 4] = [
+    LoopTemplate::DualQueue,
+    LoopTemplate::DbufShared,
+    LoopTemplate::DbufGlobal,
+    LoopTemplate::DparOpt,
+];
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    template: String,
+    lb_thres: usize,
+    seconds: f64,
+    speedup: f64,
+}
+
+fn sweep(
+    app: &str,
+    g: Csr,
+    run: impl Fn(&Csr, LoopTemplate, &LoopParams) -> f64 + Send + Sync,
+) -> Vec<Row> {
+    let base = run(&g, LoopTemplate::ThreadMapped, &LoopParams::default());
+    let mut jobs = Vec::new();
+    for t in TEMPLATES {
+        for lb in LB_VALUES {
+            jobs.push((t, lb));
+        }
+    }
+    runner::parallel_map(jobs, move |(template, lb)| {
+        let seconds = run(&g, template, &LoopParams::with_lb_thres(lb));
+        Row {
+            app: app.to_string(),
+            template: template.to_string(),
+            lb_thres: lb,
+            seconds,
+            speedup: base / seconds,
+        }
+    })
+}
+
+fn to_table(title: &str, rows: &[Row]) -> table::Table {
+    let mut t = table::Table::new(
+        title,
+        &[
+            "lbTHRES",
+            "dual-queue",
+            "dbuf-shared",
+            "dbuf-global",
+            "dpar-opt",
+        ],
+    );
+    for lb in LB_VALUES {
+        let cell = |name: &str| {
+            rows.iter()
+                .find(|r| r.lb_thres == lb && r.template == name)
+                .map(|r| table::fx(r.speedup))
+                .unwrap_or_default()
+        };
+        t.row(vec![
+            lb.to_string(),
+            cell("dual-queue"),
+            cell("dbuf-shared"),
+            cell("dbuf-global"),
+            cell("dpar-opt"),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    let mut all_rows = Vec::new();
+    let mut tables = Vec::new();
+
+    // (a) BC on Wiki-Vote.
+    {
+        let g = datasets::wiki_vote();
+        let sources = bc::sample_sources(&g, 8);
+        let rows = sweep("bc", g, move |g, template, params| {
+            let mut gpu = Gpu::k20();
+            bc::bc_gpu(&mut gpu, g, &sources, template, params)
+                .report
+                .seconds
+        });
+        tables.push(to_table(
+            "Figure 6(a) — BC speedup vs lbTHRES (Wiki-Vote)",
+            &rows,
+        ));
+        all_rows.extend(rows);
+    }
+
+    // (b) PageRank on CiteSeer.
+    {
+        let g = datasets::citeseer_unweighted();
+        let rows = sweep("pagerank", g, |g, template, params| {
+            let mut gpu = Gpu::k20();
+            pagerank::pagerank_gpu(&mut gpu, g, 5, template, params)
+                .report
+                .seconds
+        });
+        tables.push(to_table(
+            "Figure 6(b) — PageRank speedup vs lbTHRES (CiteSeer)",
+            &rows,
+        ));
+        all_rows.extend(rows);
+    }
+
+    // (c) SpMV on CiteSeer.
+    {
+        let g = datasets::citeseer();
+        let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
+        let rows = sweep("spmv", g, move |g, template, params| {
+            let mut gpu = Gpu::k20();
+            spmv::spmv_gpu(&mut gpu, g, &x, template, params)
+                .report
+                .seconds
+        });
+        tables.push(to_table(
+            "Figure 6(c) — SpMV speedup vs lbTHRES (CiteSeer)",
+            &rows,
+        ));
+        all_rows.extend(rows);
+    }
+
+    results::save("fig6_lbthres", &tables, &all_rows);
+}

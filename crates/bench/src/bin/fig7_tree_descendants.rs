@@ -1,0 +1,11 @@
+//! Figure 7: Tree Descendants on synthetic trees — speedups of the GPU
+//! templates over serial CPU code across outdegree (regular trees) and
+//! sparsity (irregular trees), plus profiling data.
+
+use npar_apps::tree_apps::TreeMetric;
+use npar_bench::{results, tree_experiment};
+
+fn main() {
+    let (tables, rows) = tree_experiment::run(TreeMetric::Descendants);
+    results::save("fig7_tree_descendants", &tables, &rows);
+}

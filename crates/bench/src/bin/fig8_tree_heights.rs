@@ -1,0 +1,10 @@
+//! Figure 8: Tree Heights on synthetic trees — same experimental design as
+//! Figure 7 with the max-reduction metric.
+
+use npar_apps::tree_apps::TreeMetric;
+use npar_bench::{results, tree_experiment};
+
+fn main() {
+    let (tables, rows) = tree_experiment::run(TreeMetric::Heights);
+    results::save("fig8_tree_heights", &tables, &rows);
+}

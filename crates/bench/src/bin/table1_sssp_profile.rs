@@ -1,0 +1,85 @@
+//! Table I: profiling data collected on SSSP at lbTHRES = 32 — warp
+//! execution efficiency, global load efficiency and global store
+//! efficiency for the baseline and every load-balancing template.
+
+use npar_apps::sssp;
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::Gpu;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    template: String,
+    warp_efficiency: f64,
+    gld_efficiency: f64,
+    gst_efficiency: f64,
+    paper_warp: f64,
+    paper_gld: f64,
+    paper_gst: f64,
+}
+
+fn main() {
+    let g = datasets::citeseer();
+    let paper: &[(&str, f64, f64, f64)] = &[
+        ("thread-mapped", 0.356, 0.158, 0.032),
+        ("dual-queue", 0.749, 0.791, 0.048),
+        ("dbuf-shared", 0.757, 0.943, 0.504),
+        ("dbuf-global", 0.723, 0.891, 0.085),
+        ("dpar-naive", 0.253, 0.455, 0.163),
+        ("dpar-opt", 0.702, 0.632, 0.109),
+    ];
+    let templates = [
+        LoopTemplate::ThreadMapped,
+        LoopTemplate::DualQueue,
+        LoopTemplate::DbufShared,
+        LoopTemplate::DbufGlobal,
+        LoopTemplate::DparNaive,
+        LoopTemplate::DparOpt,
+    ];
+    let g2 = g.clone();
+    let rows: Vec<Row> = runner::parallel_map(templates.to_vec(), move |template| {
+        let g = g2.clone();
+        runner::with_big_stack(move || {
+            let mut gpu = Gpu::k20();
+            let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32));
+            // Profile the template's own kernels like the paper's nvprof
+            // tables; the shared (uniform, fully coalesced) update kernel
+            // would dilute every column.
+            let m = r.report.total_where(|name| !name.contains("sssp-update"));
+            let p = paper
+                .iter()
+                .find(|(name, ..)| *name == template.label())
+                .copied()
+                .unwrap();
+            Row {
+                template: template.to_string(),
+                warp_efficiency: m.warp_execution_efficiency(),
+                gld_efficiency: m.gld_efficiency(),
+                gst_efficiency: m.gst_efficiency(),
+                paper_warp: p.1,
+                paper_gld: p.2,
+                paper_gst: p.3,
+            }
+        })
+    });
+
+    let mut t = table::Table::new(
+        "Table I — SSSP profiling at lbTHRES=32 (measured vs paper)",
+        &[
+            "template", "warp_eff", "(paper)", "gld_eff", "(paper)", "gst_eff", "(paper)",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.template.clone(),
+            table::pct(r.warp_efficiency),
+            table::pct(r.paper_warp),
+            table::pct(r.gld_efficiency),
+            table::pct(r.paper_gld),
+            table::pct(r.gst_efficiency),
+            table::pct(r.paper_gst),
+        ]);
+    }
+    results::save("table1_sssp_profile", &[t], &rows);
+}

@@ -1,0 +1,103 @@
+//! Table II: warp execution efficiency of the dbuf-shared template across
+//! lbTHRES settings for SSSP, BC, PageRank and SpMV, against the
+//! thread-mapped baseline. The paper's trend: the lower the threshold, the
+//! more load balancing and the higher the warp efficiency; dbuf-shared
+//! always improves on the baseline.
+
+use npar_apps::{bc, pagerank, spmv, sssp};
+use npar_bench::{datasets, results, runner, table};
+use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::Gpu;
+use serde::Serialize;
+
+const LB_VALUES: [usize; 4] = [32, 64, 256, 1024];
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    /// Warp efficiency at each lbTHRES in LB_VALUES order, then baseline.
+    warp_eff: Vec<f64>,
+    paper: Vec<f64>,
+}
+
+fn main() {
+    let paper: &[(&str, [f64; 5])] = &[
+        ("SSSP", [0.756, 0.719, 0.453, 0.372, 0.356]),
+        ("BC", [0.758, 0.567, 0.171, 0.108, 0.103]),
+        ("PageRank", [0.915, 0.870, 0.634, 0.509, 0.508]),
+        ("SpMV", [0.944, 0.823, 0.715, 0.515, 0.510]),
+    ];
+
+    let apps: Vec<&'static str> = vec!["SSSP", "BC", "PageRank", "SpMV"];
+    let rows: Vec<Row> = runner::parallel_map(apps, move |app| {
+        let run = |template: LoopTemplate, lb: usize| -> f64 {
+            let params = LoopParams::with_lb_thres(lb);
+            let mut gpu = Gpu::k20();
+            let report = match app {
+                "SSSP" => {
+                    let g = datasets::citeseer();
+                    sssp::sssp_gpu(&mut gpu, &g, 0, template, &params).report
+                }
+                "BC" => {
+                    let g = datasets::wiki_vote();
+                    let sources = bc::sample_sources(&g, 8);
+                    bc::bc_gpu(&mut gpu, &g, &sources, template, &params).report
+                }
+                "PageRank" => {
+                    let g = datasets::citeseer_unweighted();
+                    pagerank::pagerank_gpu(&mut gpu, &g, 5, template, &params).report
+                }
+                "SpMV" => {
+                    let g = datasets::citeseer();
+                    let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
+                    spmv::spmv_gpu(&mut gpu, &g, &x, template, &params).report
+                }
+                _ => unreachable!(),
+            };
+            report
+                .total_where(|name| !name.contains("sssp-update"))
+                .warp_execution_efficiency()
+        };
+        let mut warp_eff: Vec<f64> = LB_VALUES
+            .iter()
+            .map(|&lb| run(LoopTemplate::DbufShared, lb))
+            .collect();
+        warp_eff.push(run(LoopTemplate::ThreadMapped, 32));
+        Row {
+            app: app.to_string(),
+            warp_eff,
+            paper: paper
+                .iter()
+                .find(|(name, _)| *name == app)
+                .map(|(_, v)| v.to_vec())
+                .unwrap(),
+        }
+    });
+
+    let mut t = table::Table::new(
+        "Table II — dbuf-shared warp execution efficiency vs lbTHRES",
+        &[
+            "app",
+            "32",
+            "64",
+            "256",
+            "1024",
+            "baseline",
+            "(paper 32)",
+            "(paper base)",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.app.clone(),
+            table::pct(r.warp_eff[0]),
+            table::pct(r.warp_eff[1]),
+            table::pct(r.warp_eff[2]),
+            table::pct(r.warp_eff[3]),
+            table::pct(r.warp_eff[4]),
+            table::pct(r.paper[0]),
+            table::pct(r.paper[4]),
+        ]);
+    }
+    results::save("table2_warp_eff", &[t], &rows);
+}

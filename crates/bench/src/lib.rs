@@ -1,0 +1,14 @@
+//! # npar-bench — experiment harness
+//!
+//! One runnable target per figure/table of the ICPP'15 paper (see
+//! DESIGN.md §3 for the index). This library holds the shared pieces: the
+//! datasets at their (scaled) paper parameters, result tables, and the
+//! big-stack runner the deeply recursive experiments need.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod results;
+pub mod runner;
+pub mod table;
+pub mod tree_experiment;

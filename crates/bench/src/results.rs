@@ -1,0 +1,48 @@
+//! Persisting experiment outputs: every binary appends its tables to
+//! `results/<experiment>.{txt,md,json}` so EXPERIMENTS.md can cite them.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+use crate::table::Table;
+
+/// Directory the harness writes into (workspace-root `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("NPAR_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("create results directory");
+    p
+}
+
+/// Write an experiment's rendered tables and raw rows.
+pub fn save<T: Serialize>(experiment: &str, tables: &[Table], raw: &T) {
+    let dir = results_dir();
+    let text: String = tables.iter().map(|t| t.render() + "\n").collect();
+    let md: String = tables.iter().map(|t| t.markdown() + "\n").collect();
+    fs::write(dir.join(format!("{experiment}.txt")), &text).expect("write txt");
+    fs::write(dir.join(format!("{experiment}.md")), &md).expect("write md");
+    let json = serde_json::to_string_pretty(raw).expect("serialize results");
+    fs::write(dir.join(format!("{experiment}.json")), json).expect("write json");
+    print!("{text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_writes_three_files() {
+        let tmp = std::env::temp_dir().join("npar-results-test");
+        std::env::set_var("NPAR_RESULTS", &tmp);
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        save("unit", &[t], &vec![1, 2, 3]);
+        for ext in ["txt", "md", "json"] {
+            assert!(tmp.join(format!("unit.{ext}")).exists());
+        }
+        std::env::remove_var("NPAR_RESULTS");
+        let _ = fs::remove_dir_all(tmp);
+    }
+}

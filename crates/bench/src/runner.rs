@@ -1,0 +1,89 @@
+//! Execution helpers for the experiment binaries.
+
+use std::thread;
+
+/// Run an experiment on a worker thread with a large stack.
+///
+/// The recursive GPU variants execute child grids depth-first during
+/// functional simulation; on the Figure 9 graphs the first exploratory
+/// dive nests tens of thousands of launches, far beyond the default 8 MiB
+/// main-thread stack.
+pub fn with_big_stack<T: Send + 'static>(f: impl FnOnce() -> T + Send + 'static) -> T {
+    thread::Builder::new()
+        .name("npar-experiment".into())
+        .stack_size(1 << 30) // 1 GiB
+        .spawn(f)
+        .expect("spawn experiment thread")
+        .join()
+        .expect("experiment thread panicked")
+}
+
+/// Run independent experiment closures in parallel on worker threads
+/// (each simulator instance is single-threaded and self-contained), with
+/// big stacks, preserving input order in the results.
+pub fn parallel_map<I, T>(inputs: Vec<I>, f: impl Fn(I) -> T + Send + Sync) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    let threads = thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(inputs.len().max(1));
+    let results: Vec<parking_lot::Mutex<Option<T>>> = (0..inputs.len())
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    let work: crossbeam::queue::SegQueue<(usize, I)> = crossbeam::queue::SegQueue::new();
+    for item in inputs.into_iter().enumerate() {
+        work.push(item);
+    }
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Big stacks are configured per spawned thread below; scoped
+                // threads inherit the default, so recursion-heavy work uses
+                // with_big_stack inside `f` when needed.
+                while let Some((idx, input)) = work.pop() {
+                    let out = f(input);
+                    *results[idx].lock() = Some(out);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_stack_runs_and_returns() {
+        let v = with_big_stack(|| {
+            // Deep recursion that would overflow a tiny stack.
+            fn rec(n: u32) -> u64 {
+                if n == 0 {
+                    0
+                } else {
+                    1 + rec(n - 1)
+                }
+            }
+            rec(100_000)
+        });
+        assert_eq!(v, 100_000);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixed-width result tables, printed like the paper's figures/tables and
+//! also rendered to markdown for EXPERIMENTS.md.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render for the terminal.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = format!("== {} ==\n", self.title);
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a markdown table (for EXPERIMENTS.md).
+    pub fn markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Format a speedup/slowdown factor compactly.
+pub fn fx(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}x")
+    } else if x >= 10.0 {
+        format!("{x:.1}x")
+    } else {
+        format!("{x:.2}x")
+    }
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a time in milliseconds.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3} ms", seconds * 1e3)
+}
+
+/// Format a count with k/m suffixes like the paper's profiling tables.
+pub fn count(x: u64) -> String {
+    if x >= 1_000_000 {
+        format!("{:.1}m", x as f64 / 1e6)
+    } else if x >= 1_000 {
+        format!("{:.1}k", x as f64 / 1e3)
+    } else {
+        x.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let r = t.render();
+        assert!(r.contains("demo"));
+        assert!(r.contains("long-header"));
+        let md = t.markdown();
+        assert!(md.starts_with("### demo"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fx(2.345), "2.35x");
+        assert_eq!(fx(23.46), "23.5x");
+        assert_eq!(fx(234.5), "234x");
+        assert_eq!(pct(0.356), "35.6%");
+        assert_eq!(count(403_000_000), "403.0m");
+        assert_eq!(count(1_100), "1.1k");
+        assert_eq!(count(513), "513");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Shared driver for the Figure 7 (Tree Descendants) and Figure 8 (Tree
+//! Heights) experiments: speedups of the flat / rec-naive / rec-hier GPU
+//! templates over the *better* serial CPU implementation, across regular
+//! trees of growing outdegree and irregular trees of growing sparsity,
+//! plus the paper's profiling panel (warp utilization, atomics, kernel
+//! calls).
+
+use npar_apps::tree_apps::{tree_cpu_iterative, tree_cpu_recursive, tree_gpu, TreeMetric};
+use npar_core::{RecParams, RecTemplate};
+use npar_sim::{CostModel, CpuConfig, Gpu};
+use serde::Serialize;
+
+use crate::table::{count, fx, pct, Table};
+use crate::{datasets, runner};
+
+/// One configuration's outcome across the three templates.
+#[derive(Serialize)]
+pub struct TreeRow {
+    /// Sweep label ("outdegree 512" or "sparsity 2").
+    pub config: String,
+    /// Tree size.
+    pub nodes: usize,
+    /// Serial CPU seconds (better of recursive / iterative).
+    pub cpu_seconds: f64,
+    /// Per-template: (label, seconds, speedup over CPU, warp efficiency,
+    /// atomic count, kernel calls).
+    pub variants: Vec<TreeVariant>,
+}
+
+/// One GPU template's measurements.
+#[derive(Serialize)]
+pub struct TreeVariant {
+    /// Template label.
+    pub template: String,
+    /// Modeled GPU seconds.
+    pub seconds: f64,
+    /// Speedup over the serial CPU reference (< 1 is a slowdown).
+    pub speedup: f64,
+    /// Warp execution efficiency.
+    pub warp_efficiency: f64,
+    /// Global + shared atomic operations.
+    pub atomics: u64,
+    /// Total kernel launches (host + nested).
+    pub kernel_calls: u64,
+}
+
+/// Run the full Figure 7/8 sweep for `metric`.
+pub fn run(metric: TreeMetric) -> (Vec<Table>, Vec<TreeRow>) {
+    let regular: Vec<(String, u32, u32)> = [32u32, 64, 128, 256, 512]
+        .iter()
+        .map(|&d| (format!("outdegree {d}"), d, 0))
+        .collect();
+    let irregular: Vec<(String, u32, u32)> = (0..=4u32)
+        .map(|s| (format!("sparsity {s}"), 512, s))
+        .collect();
+
+    let sweep = |configs: Vec<(String, u32, u32)>| -> Vec<TreeRow> {
+        runner::parallel_map(configs, move |(label, outdeg, sparsity)| {
+            runner::with_big_stack(move || one_config(metric, label, outdeg, sparsity))
+        })
+    };
+    let reg_rows = sweep(regular);
+    let irr_rows = sweep(irregular);
+
+    let name = match metric {
+        TreeMetric::Descendants => "Figure 7 — Tree Descendants",
+        TreeMetric::Heights => "Figure 8 — Tree Heights",
+    };
+    let mut tables = vec![
+        speedup_table(&format!("{name} (a): regular trees, sparsity=0"), &reg_rows),
+        speedup_table(
+            &format!("{name} (b): irregular trees, outdegree=512"),
+            &irr_rows,
+        ),
+        profile_table(&format!("{name} (c): profiling data"), &reg_rows, &irr_rows),
+    ];
+    // Extra panel: streams variants on the largest regular tree, matching
+    // the Section III.C streams discussion.
+    tables.push(streams_table(metric));
+
+    let mut rows = reg_rows;
+    rows.extend(irr_rows);
+    (tables, rows)
+}
+
+fn one_config(metric: TreeMetric, config: String, outdegree: u32, sparsity: u32) -> TreeRow {
+    let tree = datasets::fig78_tree(outdegree, sparsity);
+    let cost = CostModel::default();
+    let cpu_cfg = CpuConfig::xeon_e5_2620();
+    let (_, rec_counter) = tree_cpu_recursive(&tree, metric);
+    let (_, it_counter) = tree_cpu_iterative(&tree, metric);
+    let cpu_seconds = rec_counter
+        .seconds(&cost.cpu, &cpu_cfg)
+        .min(it_counter.seconds(&cost.cpu, &cpu_cfg));
+
+    let variants = RecTemplate::ALL
+        .iter()
+        .map(|&template| {
+            let mut gpu = Gpu::k20();
+            let r = tree_gpu(&mut gpu, &tree, metric, template, &RecParams::default());
+            let m = r.report.total();
+            TreeVariant {
+                template: template.to_string(),
+                seconds: r.report.seconds,
+                speedup: cpu_seconds / r.report.seconds,
+                warp_efficiency: m.warp_execution_efficiency(),
+                atomics: m.atomics(),
+                kernel_calls: r.report.host_launches + r.report.device_launches,
+            }
+        })
+        .collect();
+
+    TreeRow {
+        config,
+        nodes: tree.num_nodes(),
+        cpu_seconds,
+        variants,
+    }
+}
+
+fn speedup_table(title: &str, rows: &[TreeRow]) -> Table {
+    let mut t = Table::new(title, &["config", "nodes", "flat", "rec-naive", "rec-hier"]);
+    for r in rows {
+        let cell = |name: &str| {
+            r.variants
+                .iter()
+                .find(|v| v.template == name)
+                .map(|v| fx(v.speedup))
+                .unwrap_or_default()
+        };
+        t.row(vec![
+            r.config.clone(),
+            r.nodes.to_string(),
+            cell("flat"),
+            cell("rec-naive"),
+            cell("rec-hier"),
+        ]);
+    }
+    t
+}
+
+fn profile_table(title: &str, reg: &[TreeRow], irr: &[TreeRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "config",
+            "flat warp",
+            "flat atomics",
+            "naive warp",
+            "naive kcalls",
+            "hier warp",
+            "hier atomics",
+            "hier kcalls",
+        ],
+    );
+    for r in reg.iter().chain(irr) {
+        let v = |name: &str| r.variants.iter().find(|v| v.template == name).unwrap();
+        let (flat, naive, hier) = (v("flat"), v("rec-naive"), v("rec-hier"));
+        t.row(vec![
+            r.config.clone(),
+            pct(flat.warp_efficiency),
+            count(flat.atomics),
+            pct(naive.warp_efficiency),
+            count(naive.kernel_calls),
+            pct(hier.warp_efficiency),
+            count(hier.atomics),
+            count(hier.kernel_calls),
+        ]);
+    }
+    t
+}
+
+fn streams_table(metric: TreeMetric) -> Table {
+    let tree = datasets::fig78_tree(512, 0);
+    let mut t = Table::new(
+        format!(
+            "{} — per-block streams on nested launches (outdegree 512)",
+            match metric {
+                TreeMetric::Descendants => "Tree Descendants",
+                TreeMetric::Heights => "Tree Heights",
+            }
+        ),
+        &["template", "1 stream", "2 streams", "4 streams"],
+    );
+    for template in [RecTemplate::RecNaive, RecTemplate::RecHier] {
+        let mut cells = vec![template.to_string()];
+        for streams in [1u32, 2, 4] {
+            let tree = tree.clone();
+            let secs = runner::with_big_stack(move || {
+                let mut gpu = Gpu::k20();
+                tree_gpu(
+                    &mut gpu,
+                    &tree,
+                    metric,
+                    template,
+                    &RecParams::with_streams(streams),
+                )
+                .report
+                .seconds
+            });
+            cells.push(crate::table::ms(secs));
+        }
+        t.row(cells);
+    }
+    t
+}

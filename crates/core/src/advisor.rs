@@ -1,0 +1,276 @@
+//! Template selection heuristics — the compiler-integration angle of the
+//! paper's conclusion: given cheap static/profile facts about a loop (its
+//! inner-size distribution) or a recursive problem (tree shape), recommend
+//! a parallelization template and a load-balancing threshold, encoding the
+//! decision rules the evaluation section establishes:
+//!
+//! * regular loops → plain thread mapping (no balancing cost to pay);
+//! * irregular loops → delayed-buffer templates, `lbTHRES` at the warp
+//!   size (the paper saw no gains below 32), dbuf-shared by default,
+//!   dbuf-global when the tail is heavy enough that per-block buffers
+//!   would go unbalanced;
+//! * never dpar-naive;
+//! * regular/bushy trees → hierarchical recursion; sparse irregular trees
+//!   → the flat kernel;
+//! * recursion on graphs (shared neighborhoods, atomics required) → flat.
+
+use npar_tree::Tree;
+
+use crate::loops::{IrregularLoop, LoopParams, LoopTemplate};
+use crate::recursive::RecTemplate;
+
+/// Summary of an inner-size distribution, the advisor's input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopShape {
+    /// Outer trip count.
+    pub outer: usize,
+    /// Mean inner trip count.
+    pub mean: f64,
+    /// Maximum inner trip count.
+    pub max: usize,
+    /// Fraction of outer iterations with `inner > warp size`.
+    pub heavy_fraction: f64,
+}
+
+impl LoopShape {
+    /// Measure a loop's shape by querying `inner_len` (cheap; no kernel
+    /// execution).
+    pub fn measure(app: &dyn IrregularLoop) -> LoopShape {
+        let n = app.outer_len();
+        let mut sum = 0usize;
+        let mut max = 0usize;
+        let mut heavy = 0usize;
+        for i in 0..n {
+            let f = app.inner_len(i);
+            sum += f;
+            max = max.max(f);
+            if f > 32 {
+                heavy += 1;
+            }
+        }
+        LoopShape {
+            outer: n,
+            mean: if n == 0 { 0.0 } else { sum as f64 / n as f64 },
+            max,
+            heavy_fraction: if n == 0 { 0.0 } else { heavy as f64 / n as f64 },
+        }
+    }
+
+    /// Coefficient of imbalance: max over mean. 1.0 for perfectly regular
+    /// loops.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean <= 0.0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+/// A template recommendation with its rationale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopAdvice {
+    /// The recommended template.
+    pub template: LoopTemplate,
+    /// Parameters to run it with.
+    pub params: LoopParams,
+    /// One-line human-readable rationale.
+    pub rationale: String,
+}
+
+/// Recommend a loop template from its shape (paper §III.B decision rules).
+pub fn advise_loop(shape: &LoopShape) -> LoopAdvice {
+    // Near-regular loops: load balancing buys nothing and the queue /
+    // buffer overheads are pure loss.
+    if shape.imbalance() < 4.0 || shape.max <= 64 {
+        return LoopAdvice {
+            template: LoopTemplate::ThreadMapped,
+            params: LoopParams::default(),
+            rationale: format!(
+                "inner sizes are near-regular (max/mean = {:.1}); plain thread \
+                 mapping avoids all balancing overhead",
+                shape.imbalance()
+            ),
+        };
+    }
+    // Irregular: delayed buffers win across the paper's sweeps; lbTHRES at
+    // the warp size balanced best, and per-block (shared) buffers are
+    // preferable unless heavy iterations are so rare that a handful of
+    // blocks would hoard them all.
+    let params = LoopParams::with_lb_thres(32);
+    if shape.heavy_fraction < 0.02 {
+        LoopAdvice {
+            template: LoopTemplate::DbufGlobal,
+            params,
+            rationale: format!(
+                "only {:.1}% of iterations are heavy; a global buffer \
+                 redistributes them across blocks",
+                shape.heavy_fraction * 100.0
+            ),
+        }
+    } else {
+        LoopAdvice {
+            template: LoopTemplate::DbufShared,
+            params,
+            rationale: format!(
+                "irregular loop (max/mean = {:.1}, {:.0}% heavy); per-block \
+                 delayed buffers balance without a second kernel",
+                shape.imbalance(),
+                shape.heavy_fraction * 100.0
+            ),
+        }
+    }
+}
+
+/// Recommend a recursive template for a tree reduction (paper §III.C
+/// decision rules: outdegree drives nested-grid utilization, sparsity
+/// erodes it).
+pub fn advise_tree(tree: &Tree) -> (RecTemplate, String) {
+    let n = tree.num_nodes();
+    if n <= 1 {
+        return (RecTemplate::Flat, "trivial tree".into());
+    }
+    let internal: Vec<usize> = (0..n).filter(|&v| tree.num_children(v) > 0).collect();
+    let mean_out = internal
+        .iter()
+        .map(|&v| tree.num_children(v))
+        .sum::<usize>() as f64
+        / internal.len() as f64;
+    // Fraction of internal-level nodes that actually have children — the
+    // inverse of the generator's sparsity.
+    let last_level = tree.num_levels() - 1;
+    let above_last: usize = (0..last_level)
+        .map(|l| {
+            let (a, b) = tree.level_range(l);
+            (b - a) as usize
+        })
+        .sum();
+    let density = internal.len() as f64 / above_last.max(1) as f64;
+
+    if mean_out >= 48.0 && density > 0.4 {
+        (
+            RecTemplate::RecHier,
+            format!(
+                "bushy tree (mean outdegree {mean_out:.0}, density {density:.2}): \
+                 hierarchical recursion replaces per-edge atomics with one \
+                 atomic per block"
+            ),
+        )
+    } else {
+        (
+            RecTemplate::Flat,
+            format!(
+                "thin or sparse tree (mean outdegree {mean_out:.0}, density \
+                 {density:.2}): nested grids would underfill; the flat \
+                 ancestor-walk kernel wins"
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npar_sim::ThreadCtx;
+    use npar_tree::TreeGen;
+
+    struct FakeLoop {
+        sizes: Vec<usize>,
+    }
+    impl IrregularLoop for FakeLoop {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn outer_len(&self) -> usize {
+            self.sizes.len()
+        }
+        fn inner_len(&self, i: usize) -> usize {
+            self.sizes[i]
+        }
+        fn body(&self, _t: &mut ThreadCtx<'_, '_>, _i: usize, _j: usize) {}
+    }
+
+    #[test]
+    fn regular_loops_get_thread_mapping() {
+        let app = FakeLoop {
+            sizes: vec![16; 1000],
+        };
+        let shape = LoopShape::measure(&app);
+        assert!((shape.imbalance() - 1.0).abs() < 1e-9);
+        let advice = advise_loop(&shape);
+        assert_eq!(advice.template, LoopTemplate::ThreadMapped);
+    }
+
+    #[test]
+    fn skewed_loops_get_delayed_buffers() {
+        let mut sizes = vec![4usize; 1000];
+        for i in (0..1000).step_by(10) {
+            sizes[i] = 900;
+        }
+        let shape = LoopShape::measure(&FakeLoop { sizes });
+        let advice = advise_loop(&shape);
+        assert_eq!(advice.template, LoopTemplate::DbufShared);
+        assert_eq!(advice.params.lb_thres, 32);
+    }
+
+    #[test]
+    fn rare_heavy_tail_gets_global_buffer() {
+        let mut sizes = vec![2usize; 10_000];
+        for i in (0..10_000).step_by(2000) {
+            sizes[i] = 5_000;
+        }
+        let shape = LoopShape::measure(&FakeLoop { sizes });
+        assert!(shape.heavy_fraction < 0.02);
+        let advice = advise_loop(&shape);
+        assert_eq!(advice.template, LoopTemplate::DbufGlobal);
+    }
+
+    #[test]
+    fn advisor_never_recommends_dpar_naive() {
+        for sizes in [
+            vec![1usize; 10],
+            (0..5000).map(|i| i % 2000).collect::<Vec<_>>(),
+            vec![0usize; 64],
+        ] {
+            let shape = LoopShape::measure(&FakeLoop { sizes });
+            assert_ne!(advise_loop(&shape).template, LoopTemplate::DparNaive);
+        }
+    }
+
+    #[test]
+    fn bushy_trees_get_hier_sparse_trees_get_flat() {
+        let bushy = TreeGen {
+            depth: 4,
+            outdegree: 128,
+            sparsity: 0,
+            seed: 1,
+        }
+        .generate();
+        assert_eq!(advise_tree(&bushy).0, RecTemplate::RecHier);
+
+        let sparse = TreeGen {
+            depth: 4,
+            outdegree: 128,
+            sparsity: 4,
+            seed: 1,
+        }
+        .generate();
+        assert_eq!(advise_tree(&sparse).0, RecTemplate::Flat);
+
+        let thin = TreeGen {
+            depth: 6,
+            outdegree: 3,
+            sparsity: 0,
+            seed: 1,
+        }
+        .generate();
+        assert_eq!(advise_tree(&thin).0, RecTemplate::Flat);
+    }
+
+    #[test]
+    fn empty_loop_shape() {
+        let shape = LoopShape::measure(&FakeLoop { sizes: vec![] });
+        assert_eq!(shape.mean, 0.0);
+        assert_eq!(advise_loop(&shape).template, LoopTemplate::ThreadMapped);
+    }
+}

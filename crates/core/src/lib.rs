@@ -1,0 +1,29 @@
+//! # npar-core — the paper's parallelization templates
+//!
+//! The primary contribution of *"Nested Parallelism on GPU"* (Li, Wu,
+//! Becchi — ICPP 2015): compiler-style templates that take a user's simple
+//! loop or recursion and generate GPU variants with different work-to-
+//! hardware mappings.
+//!
+//! * [`loops`] — irregular nested loops (Figure 1): thread-mapped baseline,
+//!   block-mapped, dual-queue, delayed buffer (shared / global), and the
+//!   naive / optimized dynamic-parallelism variants.
+//! * [`recursive`] — recursive tree reductions (Figure 3): flat
+//!   (recursion-eliminated), naive recursive and hierarchical recursive,
+//!   with optional extra per-block streams.
+//!
+//! Every template calls the user's functional hooks exactly once per unit
+//! of work, so application results are identical across templates — only
+//! the modeled timing and profile differ. That invariant is what the paper
+//! (and this crate's tests) lean on when comparing performance.
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod loops;
+pub mod recursive;
+mod reduce;
+
+pub use advisor::{advise_loop, advise_tree, LoopAdvice, LoopShape};
+pub use loops::{run_loop, IrregularLoop, LoopParams, LoopTemplate};
+pub use recursive::{run_recursive, RecParams, RecTemplate, TreeReduce};

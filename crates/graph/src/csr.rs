@@ -1,0 +1,321 @@
+//! Compressed Sparse Row graphs.
+//!
+//! Every graph algorithm in the paper (SSSP, BC, PageRank, BFS) and SpMV
+//! operate on CSR: a `row_offsets` array of `n + 1` cumulative degrees and a
+//! `col_indices` array of adjacency targets. Traversing CSR is precisely the
+//! irregular nested loop of the paper's Figure 1(a): the outer loop walks
+//! nodes (rows), the inner loop walks `row_offsets[i]..row_offsets[i+1]`.
+
+use serde::{Deserialize, Serialize};
+
+/// A directed graph (or sparse matrix) in CSR form, optionally weighted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    row_offsets: Vec<u32>,
+    col_indices: Vec<u32>,
+    weights: Option<Vec<f32>>,
+}
+
+impl Csr {
+    /// Build from an edge list over `n` nodes. Edge order within a row is
+    /// preserved in input order; duplicate edges and self-loops are kept
+    /// (real-world datasets such as Wiki-Vote contain them).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Csr {
+        Self::build(n, edges.iter().map(|&(u, v)| (u, v, 0.0)), false)
+    }
+
+    /// Build a weighted graph from `(src, dst, weight)` triples.
+    pub fn from_weighted_edges(n: usize, edges: &[(u32, u32, f32)]) -> Csr {
+        Self::build(n, edges.iter().copied(), true)
+    }
+
+    fn build(
+        n: usize,
+        edges: impl Iterator<Item = (u32, u32, f32)> + Clone,
+        weighted: bool,
+    ) -> Csr {
+        let mut degree = vec![0u32; n];
+        let mut m = 0usize;
+        for (u, _, _) in edges.clone() {
+            degree[u as usize] += 1;
+            m += 1;
+        }
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        row_offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            row_offsets.push(acc);
+        }
+        let mut col_indices = vec![0u32; m];
+        let mut weights = if weighted { vec![0f32; m] } else { Vec::new() };
+        let mut cursor: Vec<u32> = row_offsets[..n].to_vec();
+        for (u, v, w) in edges {
+            let slot = cursor[u as usize] as usize;
+            col_indices[slot] = v;
+            if weighted {
+                weights[slot] = w;
+            }
+            cursor[u as usize] += 1;
+        }
+        Csr {
+            row_offsets,
+            col_indices,
+            weights: weighted.then_some(weights),
+        }
+    }
+
+    /// Build directly from CSR arrays (used by parsers and generators).
+    ///
+    /// Panics if the arrays are inconsistent.
+    pub fn from_raw(
+        row_offsets: Vec<u32>,
+        col_indices: Vec<u32>,
+        weights: Option<Vec<f32>>,
+    ) -> Csr {
+        let g = Csr {
+            row_offsets,
+            col_indices,
+            weights,
+        };
+        g.validate().expect("inconsistent CSR arrays");
+        g
+    }
+
+    /// Number of nodes (rows).
+    pub fn num_nodes(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of edges (nonzeros).
+    pub fn num_edges(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// Out-degree of node `v` — the paper's `f(i)` inner-loop trip count.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.row_offsets[v + 1] - self.row_offsets[v]) as usize
+    }
+
+    /// Start of `v`'s adjacency range in [`Csr::col_indices_raw`].
+    pub fn row_start(&self, v: usize) -> usize {
+        self.row_offsets[v] as usize
+    }
+
+    /// Neighbors (column indices) of node `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let a = self.row_offsets[v] as usize;
+        let b = self.row_offsets[v + 1] as usize;
+        &self.col_indices[a..b]
+    }
+
+    /// Edge weights of node `v`, if the graph is weighted.
+    pub fn weights_of(&self, v: usize) -> Option<&[f32]> {
+        let a = self.row_offsets[v] as usize;
+        let b = self.row_offsets[v + 1] as usize;
+        self.weights.as_ref().map(|w| &w[a..b])
+    }
+
+    /// Whether the graph carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The raw row-offset array (length `n + 1`).
+    pub fn row_offsets_raw(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// The raw column-index array (length `m`).
+    pub fn col_indices_raw(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// The raw weight array, if weighted.
+    pub fn weights_raw(&self) -> Option<&[f32]> {
+        self.weights.as_deref()
+    }
+
+    /// Maximum out-degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// The transpose (reverse every edge). Pull-style PageRank iterates
+    /// in-edges, which is the transpose's out-edges.
+    pub fn reverse(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut degree = vec![0u32; n];
+        for &v in &self.col_indices {
+            degree[v as usize] += 1;
+        }
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        row_offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            row_offsets.push(acc);
+        }
+        let mut col_indices = vec![0u32; self.num_edges()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.num_edges()]);
+        let mut cursor: Vec<u32> = row_offsets[..n].to_vec();
+        for u in 0..n {
+            let a = self.row_offsets[u] as usize;
+            let b = self.row_offsets[u + 1] as usize;
+            for e in a..b {
+                let v = self.col_indices[e] as usize;
+                let slot = cursor[v] as usize;
+                col_indices[slot] = u as u32;
+                if let (Some(w), Some(src)) = (weights.as_mut(), self.weights.as_ref()) {
+                    w[slot] = src[e];
+                }
+                cursor[v] += 1;
+            }
+        }
+        Csr {
+            row_offsets,
+            col_indices,
+            weights,
+        }
+    }
+
+    /// Structural consistency check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_offsets.is_empty() {
+            return Err("row_offsets must have at least one entry".into());
+        }
+        if self.row_offsets[0] != 0 {
+            return Err("row_offsets must start at 0".into());
+        }
+        if !self.row_offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("row_offsets must be non-decreasing".into());
+        }
+        let m = *self.row_offsets.last().unwrap() as usize;
+        if m != self.col_indices.len() {
+            return Err(format!(
+                "row_offsets imply {m} edges, col_indices has {}",
+                self.col_indices.len()
+            ));
+        }
+        let n = self.num_nodes() as u32;
+        if let Some(&bad) = self.col_indices.iter().find(|&&v| v >= n) {
+            return Err(format!("column index {bad} out of range (n = {n})"));
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.col_indices.len() {
+                return Err("weights length differs from col_indices".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Csr::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn from_edges_builds_expected_rows() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 1.0).abs() < 1e-12);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn weighted_edges_keep_weights_aligned() {
+        let g = Csr::from_weighted_edges(3, &[(0, 1, 2.5), (0, 2, 1.0), (2, 0, 7.0)]);
+        assert!(g.is_weighted());
+        assert_eq!(g.weights_of(0).unwrap(), &[2.5, 1.0]);
+        assert_eq!(g.weights_of(1).unwrap(), &[] as &[f32]);
+        assert_eq!(g.weights_of(2).unwrap(), &[7.0]);
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = diamond();
+        let r = g.reverse();
+        assert_eq!(r.neighbors(3), &[1, 2]);
+        assert_eq!(r.neighbors(0), &[] as &[u32]);
+        assert_eq!(r.neighbors(1), &[0]);
+        // Double reverse restores edge multiset per node.
+        let rr = r.reverse();
+        for v in 0..4 {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = rr.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reverse_preserves_weights() {
+        let g = Csr::from_weighted_edges(3, &[(0, 2, 5.0), (1, 2, 6.0)]);
+        let r = g.reverse();
+        let mut pairs: Vec<(u32, f32)> = r
+            .neighbors(2)
+            .iter()
+            .copied()
+            .zip(r.weights_of(2).unwrap().iter().copied())
+            .collect();
+        pairs.sort_by_key(|p| p.0);
+        assert_eq!(pairs, vec![(0, 5.0), (1, 6.0)]);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let g = Csr::from_raw(vec![0, 1], vec![0], None);
+        g.validate().unwrap();
+        let bad = Csr {
+            row_offsets: vec![0, 2],
+            col_indices: vec![0],
+            weights: None,
+        };
+        assert!(bad.validate().is_err());
+        let bad_col = Csr {
+            row_offsets: vec![0, 1],
+            col_indices: vec![5],
+            weights: None,
+        };
+        assert!(bad_col.validate().is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent CSR")]
+    fn from_raw_panics_on_garbage() {
+        Csr::from_raw(vec![1, 0], vec![], None);
+    }
+}

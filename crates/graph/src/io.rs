@@ -1,0 +1,266 @@
+//! Dataset parsers: DIMACS shortest-path format and plain edge lists.
+//!
+//! The paper's CiteSeer dataset comes from the DIMACS implementation
+//! challenges (`.gr` files) and Wiki-Vote from SNAP (whitespace edge list);
+//! these parsers let the real files be dropped into the harness in place of
+//! the scaled synthetic stand-ins.
+
+use std::io::BufRead;
+
+use crate::csr::Csr;
+
+/// Parse a DIMACS shortest-path `.gr` file:
+/// comment lines `c ...`, one problem line `p sp <nodes> <edges>`, and arc
+/// lines `a <src> <dst> <weight>` with 1-based node ids.
+pub fn parse_dimacs(reader: impl BufRead) -> Result<Csr, String> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("I/O error: {e}"))?;
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None | Some("c") => {}
+            Some("p") => {
+                let kind = it
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing problem kind"))?;
+                if kind != "sp" {
+                    return Err(err(lineno, "problem kind must be 'sp'"));
+                }
+                let nodes: usize = parse(it.next(), lineno)?;
+                let m: usize = parse(it.next(), lineno)?;
+                n = Some(nodes);
+                edges.reserve(m);
+            }
+            Some("a") => {
+                let u: u32 = parse(it.next(), lineno)?;
+                let v: u32 = parse(it.next(), lineno)?;
+                let w: f32 = parse(it.next(), lineno)?;
+                if u == 0 || v == 0 {
+                    return Err(err(lineno, "DIMACS node ids are 1-based"));
+                }
+                edges.push((u - 1, v - 1, w));
+            }
+            Some(tok) => return Err(err(lineno, &format!("unknown record '{tok}'"))),
+        }
+    }
+    let n = n.ok_or("missing 'p sp' problem line")?;
+    if let Some(&(u, v, _)) = edges
+        .iter()
+        .find(|&&(u, v, _)| u as usize >= n || v as usize >= n)
+    {
+        return Err(format!("edge ({u},{v}) out of range for {n} nodes"));
+    }
+    Ok(Csr::from_weighted_edges(n, &edges))
+}
+
+/// Parse a whitespace edge list (`src dst` per line, `#` comments, 0-based
+/// ids as in SNAP exports). The node count is one past the largest id.
+pub fn parse_edge_list(reader: impl BufRead) -> Result<Csr, String> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("I/O error: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u32 = parse(it.next(), lineno)?;
+        let v: u32 = parse(it.next(), lineno)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
+    Ok(Csr::from_edges(n, &edges))
+}
+
+/// Parse a MatrixMarket coordinate file (`%%MatrixMarket matrix coordinate
+/// real|pattern general|symmetric`) into a weighted CSR — the format SpMV
+/// matrices (SuiteSparse etc.) ship in. Pattern matrices get unit weights;
+/// symmetric matrices are expanded (off-diagonal entries mirrored).
+pub fn parse_matrix_market(reader: impl BufRead) -> Result<Csr, String> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| format!("I/O error: {e}"))?;
+    let head: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
+    if head.len() < 5
+        || head[0] != "%%matrixmarket"
+        || head[1] != "matrix"
+        || head[2] != "coordinate"
+    {
+        return Err("expected '%%MatrixMarket matrix coordinate ...' header".into());
+    }
+    let pattern = head[3] == "pattern";
+    if !pattern && head[3] != "real" && head[3] != "integer" {
+        return Err(format!("unsupported field type '{}'", head[3]));
+    }
+    let symmetric = head[4] == "symmetric";
+    if !symmetric && head[4] != "general" {
+        return Err(format!("unsupported symmetry '{}'", head[4]));
+    }
+
+    let mut dims: Option<(usize, usize)> = None;
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line.map_err(|e| format!("I/O error: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        if dims.is_none() {
+            let rows: usize = parse(it.next(), lineno)?;
+            let cols: usize = parse(it.next(), lineno)?;
+            let nnz: usize = parse(it.next(), lineno)?;
+            if rows != cols {
+                return Err(format!("matrix must be square, got {rows}x{cols}"));
+            }
+            dims = Some((rows, nnz));
+            edges.reserve(nnz);
+            continue;
+        }
+        let r: u32 = parse(it.next(), lineno)?;
+        let c: u32 = parse(it.next(), lineno)?;
+        if r == 0 || c == 0 {
+            return Err(err(lineno, "MatrixMarket indices are 1-based"));
+        }
+        let w: f32 = if pattern {
+            1.0
+        } else {
+            parse(it.next(), lineno)?
+        };
+        edges.push((r - 1, c - 1, w));
+        if symmetric && r != c {
+            edges.push((c - 1, r - 1, w));
+        }
+    }
+    // The header's entry count is advisory (symmetric expansion changes
+    // it, and some exports are loose); bounds are what must hold.
+    let (n, _declared_nnz) = dims.ok_or("missing size line")?;
+    if let Some(&(u, v, _)) = edges
+        .iter()
+        .find(|&&(u, v, _)| u as usize >= n || v as usize >= n)
+    {
+        return Err(format!("entry ({u},{v}) out of range for {n} rows"));
+    }
+    Ok(Csr::from_weighted_edges(n, &edges))
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, lineno: usize) -> Result<T, String> {
+    tok.ok_or_else(|| err(lineno, "missing field"))?
+        .parse()
+        .map_err(|_| err(lineno, "unparseable field"))
+}
+
+fn err(lineno: usize, msg: &str) -> String {
+    format!("line {}: {msg}", lineno + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let text = "c example\np sp 3 3\na 1 2 5\na 1 3 2\na 3 1 9\n";
+        let g = parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.weights_of(0).unwrap(), &[5.0, 2.0]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_ids_and_bad_kind() {
+        assert!(parse_dimacs("p sp 2 1\na 0 1 1\n".as_bytes()).is_err());
+        assert!(parse_dimacs("p max 2 1\na 1 2 1\n".as_bytes()).is_err());
+        assert!(parse_dimacs("a 1 2 1\n".as_bytes()).is_err());
+        assert!(parse_dimacs("p sp 1 1\na 1 2 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let text = "# SNAP style\n0 1\n0 2\n2 1\n\n";
+        let g = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn edge_list_empty_is_empty_graph() {
+        let g = parse_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(parse_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(parse_edge_list("0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_real_general() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 3 3\n\
+                    1 2 4.5\n\
+                    2 3 1.0\n\
+                    3 1 2.0\n";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.weights_of(0).unwrap(), &[4.5]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern_expands() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 3\n\
+                    2 1\n\
+                    3 1\n\
+                    3 3\n";
+        let g = parse_matrix_market(text.as_bytes()).unwrap();
+        // Off-diagonal entries mirrored, diagonal kept once: 5 edges.
+        assert_eq!(g.num_edges(), 5);
+        let mut n0 = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.weights_of(2).unwrap().len(), g.degree(2));
+        assert!(g.weights_of(1).unwrap().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(parse_matrix_market("garbage\n".as_bytes()).is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 5 1.0\n".as_bytes()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! # npar-graph — CSR graphs, generators and parsers
+//!
+//! Input substrate for the npar reproduction: the [`Csr`] structure every
+//! graph kernel operates on, deterministic synthetic generators matched to
+//! the paper's datasets (CiteSeer, Wiki-Vote, uniform random graphs), and
+//! parsers for the real files (DIMACS `.gr`, SNAP edge lists).
+
+#![warn(missing_docs)]
+
+mod csr;
+pub mod generate;
+pub mod io;
+mod stats;
+
+pub use csr::Csr;
+pub use generate::{
+    citeseer_like, power_law, rmat, uniform_random, wiki_vote_like, with_random_weights,
+    PowerLawSpec,
+};
+pub use stats::DegreeStats;

@@ -1,0 +1,98 @@
+//! Degree statistics — the knobs the paper's analysis keys on (mean/max
+//! out-degree, skew) and what EXPERIMENTS.md reports for each dataset.
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Median out-degree.
+    pub median: usize,
+    /// 99th-percentile out-degree.
+    pub p99: usize,
+    /// Fraction of nodes with zero out-degree.
+    pub zero_fraction: f64,
+}
+
+impl DegreeStats {
+    /// Compute statistics for `g`.
+    pub fn of(g: &Csr) -> DegreeStats {
+        let n = g.num_nodes();
+        let mut degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        let zero = degrees.iter().take_while(|&&d| d == 0).count();
+        DegreeStats {
+            nodes: n,
+            edges: g.num_edges(),
+            min: degrees.first().copied().unwrap_or(0),
+            max: degrees.last().copied().unwrap_or(0),
+            mean: g.avg_degree(),
+            median: percentile(&degrees, 0.5),
+            p99: percentile(&degrees, 0.99),
+            zero_fraction: if n == 0 { 0.0 } else { zero as f64 / n as f64 },
+        }
+    }
+}
+
+fn percentile(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, out-degree min {} / median {} / mean {:.1} / p99 {} / max {} ({:.0}% sinks)",
+            self.nodes,
+            self.edges,
+            self.min,
+            self.median,
+            self.mean,
+            self.p99,
+            self.max,
+            self.zero_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = Csr::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert!((s.zero_fraction - 0.5).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("4 nodes"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Csr::from_edges(0, &[]);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.zero_fraction, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Block finalization: segment the block's thread traces at barriers and
+//! derive per-segment timing via warp alignment.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::profiler::KernelMetrics;
+use crate::trace::Op;
+use crate::warp::{align_warp, AlignScratch};
+
+/// Timing of one barrier-delimited segment of a block.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SegmentTask {
+    /// Critical-path cycles (max over the block's warps).
+    pub span: f64,
+    /// Total warp cycles (sum over warps) — the issue work the SM must
+    /// deliver.
+    pub work: f64,
+    /// Whether the block must wait for all its previously launched child
+    /// grids before this segment starts (`SyncChildren` boundary).
+    pub wait_children: bool,
+    /// Device launches performed in this segment: (grid id, cycle offset
+    /// from segment start).
+    pub launches: Vec<(u32, f64)>,
+}
+
+/// Timing summary of one executed block.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockOutcome {
+    /// Resident warps the block occupies.
+    pub warps: u32,
+    /// Barrier segments in execution order (at least one).
+    pub segments: Vec<SegmentTask>,
+}
+
+impl BlockOutcome {
+    /// Total work cycles across segments.
+    #[cfg(test)]
+    pub(crate) fn work(&self) -> f64 {
+        self.segments.iter().map(|s| s.work).sum()
+    }
+}
+
+/// Segment, align and cost one block's traces.
+///
+/// Panics if threads disagree on their barrier sequence — divergent
+/// `__syncthreads` is undefined behaviour on real hardware and always a
+/// template bug here.
+pub(crate) fn finalize_block(
+    traces: &[Vec<Op>],
+    device: &DeviceConfig,
+    cost: &CostModel,
+    metrics: &mut KernelMetrics,
+    scratch: &mut AlignScratch,
+) -> BlockOutcome {
+    let nthreads = traces.len();
+    assert!(nthreads > 0);
+    let warp_size = device.warp_size as usize;
+    let warps = nthreads.div_ceil(warp_size) as u32;
+
+    // Reference delimiter sequence from lane 0; every lane must match.
+    let delims: Vec<Op> = traces[0]
+        .iter()
+        .copied()
+        .filter(|o| o.is_delimiter())
+        .collect();
+    for (l, t) in traces.iter().enumerate() {
+        let mine = t.iter().copied().filter(|o| o.is_delimiter());
+        assert!(
+            mine.eq(delims.iter().copied()),
+            "thread {l} diverged on barriers (block-wide sync must be uniform)"
+        );
+    }
+
+    let nsegs = delims.len() + 1;
+    const EMPTY: &[Op] = &[];
+
+    // Fast path for barrier-free blocks (the overwhelmingly common case):
+    // a single segment spanning every full trace, no range bookkeeping.
+    if delims.is_empty() {
+        let mut seg = SegmentTask::default();
+        for chunk in traces.chunks(warp_size) {
+            // Idle warps (no instructions) cost nothing and are common in
+            // wide grids whose blocks exit early.
+            if chunk.iter().all(|t| t.is_empty()) {
+                continue;
+            }
+            let mut slices: [&[Op]; 64] = [EMPTY; 64];
+            debug_assert!(chunk.len() <= 64);
+            for (i, t) in chunk.iter().enumerate() {
+                slices[i] = t.as_slice();
+            }
+            let outcome = align_warp(&slices[..chunk.len()], device, cost, metrics, scratch);
+            seg.span = seg.span.max(outcome.cycles);
+            seg.work += outcome.cycles;
+            seg.launches
+                .extend(outcome.launches.iter().map(|lp| (lp.grid, lp.offset)));
+        }
+        metrics.blocks += 1;
+        metrics.threads += nthreads as u64;
+        return BlockOutcome {
+            warps,
+            segments: vec![seg],
+        };
+    }
+
+    // Per-lane segment ranges, flattened into one lane-major buffer.
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(nthreads * nsegs);
+    for t in traces {
+        let mut start = 0u32;
+        for (i, op) in t.iter().enumerate() {
+            if op.is_delimiter() {
+                ranges.push((start, i as u32));
+                start = i as u32 + 1;
+            }
+        }
+        ranges.push((start, t.len() as u32));
+    }
+
+    let mut segments = Vec::with_capacity(nsegs);
+    for s in 0..nsegs {
+        let mut seg = SegmentTask {
+            wait_children: s > 0 && delims[s - 1] == Op::SyncChildren,
+            ..Default::default()
+        };
+        for (w, chunk) in traces.chunks(warp_size).enumerate() {
+            let mut slices: [&[Op]; 64] = [EMPTY; 64];
+            debug_assert!(chunk.len() <= 64);
+            for (i, t) in chunk.iter().enumerate() {
+                let (a, b) = ranges[(w * warp_size + i) * nsegs + s];
+                slices[i] = &t[a as usize..b as usize];
+            }
+            let outcome = align_warp(&slices[..chunk.len()], device, cost, metrics, scratch);
+            seg.span = seg.span.max(outcome.cycles);
+            seg.work += outcome.cycles;
+            seg.launches
+                .extend(outcome.launches.iter().map(|lp| (lp.grid, lp.offset)));
+        }
+        if s + 1 < nsegs {
+            // Barrier cost charged at the end of the segment it closes.
+            seg.span += cost.sync_cycles;
+            seg.work += cost.sync_cycles * f64::from(warps);
+            metrics.barriers += 1;
+        }
+        segments.push(seg);
+    }
+
+    metrics.blocks += 1;
+    metrics.threads += nthreads as u64;
+    BlockOutcome { warps, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finalize(traces: &[Vec<Op>]) -> (BlockOutcome, KernelMetrics) {
+        let device = DeviceConfig::kepler_k20();
+        let cost = CostModel::default();
+        let mut metrics = KernelMetrics::default();
+        let mut scratch = AlignScratch::default();
+        let out = finalize_block(traces, &device, &cost, &mut metrics, &mut scratch);
+        (out, metrics)
+    }
+
+    #[test]
+    fn single_segment_no_barriers() {
+        let traces: Vec<Vec<Op>> = (0..64).map(|_| vec![Op::Compute(2)]).collect();
+        let (out, m) = finalize(&traces);
+        assert_eq!(out.warps, 2);
+        assert_eq!(out.segments.len(), 1);
+        assert!((out.segments[0].span - 2.0).abs() < 1e-12);
+        assert!((out.segments[0].work - 4.0).abs() < 1e-12);
+        assert_eq!(m.barriers, 0);
+        assert_eq!(m.blocks, 1);
+        assert_eq!(m.threads, 64);
+    }
+
+    #[test]
+    fn barrier_splits_segments() {
+        let traces: Vec<Vec<Op>> = (0..32)
+            .map(|_| vec![Op::Compute(1), Op::Sync, Op::Compute(3)])
+            .collect();
+        let (out, m) = finalize(&traces);
+        assert_eq!(out.segments.len(), 2);
+        assert!(!out.segments[1].wait_children);
+        assert_eq!(m.barriers, 1);
+        let cost = CostModel::default();
+        assert!((out.segments[0].span - (1.0 + cost.sync_cycles)).abs() < 1e-12);
+        assert!((out.segments[1].span - 3.0).abs() < 1e-12);
+        assert!((out.work() - (1.0 + cost.sync_cycles + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sync_children_marks_wait() {
+        let traces: Vec<Vec<Op>> = (0..32)
+            .map(|_| vec![Op::Compute(1), Op::SyncChildren, Op::Compute(1)])
+            .collect();
+        let (out, _) = finalize(&traces);
+        assert_eq!(out.segments.len(), 2);
+        assert!(out.segments[1].wait_children);
+    }
+
+    #[test]
+    fn span_is_max_over_warps() {
+        // Warp 0 does 10 compute cycles, warp 1 does 2.
+        let mut traces: Vec<Vec<Op>> = Vec::new();
+        for _ in 0..32 {
+            traces.push(vec![Op::Compute(10)]);
+        }
+        for _ in 0..32 {
+            traces.push(vec![Op::Compute(2)]);
+        }
+        let (out, _) = finalize(&traces);
+        assert!((out.segments[0].span - 10.0).abs() < 1e-12);
+        assert!((out.segments[0].work - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn launches_carry_segment_offsets() {
+        let mut traces: Vec<Vec<Op>> = (0..32).map(|_| vec![Op::Sync]).collect();
+        traces[0] = vec![Op::Sync, Op::Launch { grid: 42 }];
+        let (out, _) = finalize(&traces);
+        assert!(out.segments[0].launches.is_empty());
+        assert_eq!(out.segments[1].launches.len(), 1);
+        assert_eq!(out.segments[1].launches[0].0, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged on barriers")]
+    fn divergent_barriers_panic() {
+        let mut traces: Vec<Vec<Op>> = (0..32).map(|_| vec![Op::Sync]).collect();
+        traces[5] = vec![Op::Compute(1)];
+        finalize(&traces);
+    }
+
+    #[test]
+    fn empty_traces_yield_empty_segment() {
+        let traces: Vec<Vec<Op>> = (0..32).map(|_| vec![]).collect();
+        let (out, _) = finalize(&traces);
+        assert_eq!(out.segments.len(), 1);
+        assert_eq!(out.segments[0].span, 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Device and host configuration.
+//!
+//! The simulator is parameterized by a [`DeviceConfig`] describing the GPU's
+//! hardware hierarchy (streaming multiprocessors, cores, warps, occupancy
+//! limits) and a [`CpuConfig`] describing the host CPU used for serial
+//! baselines. The defaults model the testbed of the ICPP'15 paper: an Nvidia
+//! Tesla K20 (Kepler GK110) and an Intel Xeon E5-2620.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated GPU.
+///
+/// All limits are per the CUDA programming guide for the modeled compute
+/// capability. The device scheduler enforces the per-SM
+/// occupancy limits; the [`crate::occupancy`] module mirrors the CUDA
+/// occupancy calculator over the same fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name, reported in [`crate::profiler::Report`].
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// CUDA cores per SM. `cores_per_sm / warp_size` is the per-cycle warp
+    /// issue width used by the scheduler.
+    pub cores_per_sm: u32,
+    /// Threads per warp (32 on every CUDA device to date).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Maximum shared memory per block in bytes.
+    pub shared_mem_per_block: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Registers allocated per thread. CUDA kernels declare this at compile
+    /// time; the paper's kernels have low register pressure, so the default
+    /// is a modest 32.
+    pub registers_per_thread: u32,
+    /// Maximum number of blocks in the x-dimension of a grid.
+    pub max_grid_dim: u32,
+    /// Core clock in GHz; converts cycles to seconds.
+    pub clock_ghz: f64,
+    /// Global-memory transaction size in bytes (L1 cache line on Kepler).
+    pub mem_transaction_bytes: u32,
+    /// Number of shared-memory banks.
+    pub shared_banks: u32,
+    /// Size of the device runtime's fixed pending-launch pool. Nested
+    /// launches beyond this backlog spill to the virtualized pool and pay
+    /// [`crate::cost::CostModel::pool_overflow_factor`]
+    /// (`cudaLimitDevRuntimePendingLaunchCount`, default 2048 on Kepler).
+    pub pending_launch_limit: u32,
+}
+
+impl DeviceConfig {
+    /// Nvidia Tesla K20 (GK110, compute capability 3.5) — the paper's GPU.
+    pub fn kepler_k20() -> Self {
+        DeviceConfig {
+            name: "Tesla K20 (simulated)".to_string(),
+            num_sms: 13,
+            cores_per_sm: 192,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            max_warps_per_sm: 64,
+            shared_mem_per_sm: 48 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            max_threads_per_block: 1024,
+            registers_per_sm: 65536,
+            registers_per_thread: 32,
+            max_grid_dim: 2_147_483_647,
+            clock_ghz: 0.706,
+            mem_transaction_bytes: 128,
+            shared_banks: 32,
+            pending_launch_limit: 2048,
+        }
+    }
+
+    /// Nvidia GTX Titan (GK110, 14 SMX at a higher clock) — a second
+    /// Kepler part for cross-device checks of the template orderings.
+    pub fn gtx_titan() -> Self {
+        DeviceConfig {
+            name: "GTX Titan (simulated)".to_string(),
+            num_sms: 14,
+            clock_ghz: 0.837,
+            ..Self::kepler_k20()
+        }
+    }
+
+    /// A deliberately tiny device useful in unit tests: 2 SMs, 64 cores
+    /// each, room for 4 blocks / 256 threads per SM.
+    pub fn tiny() -> Self {
+        DeviceConfig {
+            name: "tiny-test-device".to_string(),
+            num_sms: 2,
+            cores_per_sm: 64,
+            warp_size: 32,
+            max_threads_per_sm: 256,
+            max_blocks_per_sm: 4,
+            max_warps_per_sm: 8,
+            shared_mem_per_sm: 16 * 1024,
+            shared_mem_per_block: 16 * 1024,
+            max_threads_per_block: 256,
+            registers_per_sm: 32768,
+            registers_per_thread: 32,
+            max_grid_dim: 65535,
+            clock_ghz: 1.0,
+            mem_transaction_bytes: 128,
+            shared_banks: 32,
+            pending_launch_limit: 64,
+        }
+    }
+
+    /// Per-cycle warp issue width of one SM.
+    pub fn issue_width(&self) -> f64 {
+        f64::from(self.cores_per_sm) / f64::from(self.warp_size)
+    }
+
+    /// Convert a cycle count to seconds at the device clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::kepler_k20()
+    }
+}
+
+/// Static description of the host CPU used for serial baselines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Effective clock in GHz (sustained single-core, not boost peak).
+    pub clock_ghz: f64,
+}
+
+impl CpuConfig {
+    /// Intel Xeon E5-2620 (Sandy Bridge EP, 2.0 GHz base) — the paper's CPU.
+    pub fn xeon_e5_2620() -> Self {
+        CpuConfig {
+            name: "Xeon E5-2620 (modeled)".to_string(),
+            clock_ghz: 2.0,
+        }
+    }
+
+    /// Convert a cycle count to seconds at the host clock.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::xeon_e5_2620()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k20_matches_published_specs() {
+        let d = DeviceConfig::kepler_k20();
+        assert_eq!(d.num_sms, 13);
+        assert_eq!(d.cores_per_sm, 192);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.max_warps_per_sm, 64);
+        assert_eq!(d.max_threads_per_sm, 2048);
+        assert!((d.issue_width() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_conversion_is_linear() {
+        let d = DeviceConfig::kepler_k20();
+        let one = d.cycles_to_seconds(d.clock_ghz * 1e9);
+        assert!((one - 1.0).abs() < 1e-12);
+        assert_eq!(d.cycles_to_seconds(0.0), 0.0);
+    }
+
+    #[test]
+    fn tiny_device_is_consistent() {
+        let d = DeviceConfig::tiny();
+        assert!(d.max_warps_per_sm * d.warp_size <= d.max_threads_per_sm);
+        assert!(d.issue_width() >= 1.0);
+    }
+
+    #[test]
+    fn cpu_conversion() {
+        let c = CpuConfig::xeon_e5_2620();
+        assert!((c.cycles_to_seconds(2e9) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cost model: cycle prices for every event the simulator times.
+//!
+//! All constants live here and are **fixed across every experiment** in the
+//! reproduction (see DESIGN.md §4). The template comparisons the paper makes
+//! do not depend on the absolute values: divergence, coalescing, atomic
+//! serialization, launch counts and scheduling all emerge from mechanism.
+//! The constants only set the exchange rates between instruction classes and
+//! between the GPU and CPU clocks.
+
+use serde::{Deserialize, Serialize};
+
+/// How warp divergence is timed (ablation knob, DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DivergenceModel {
+    /// Lockstep alignment of lane traces: divergent kinds serialize,
+    /// coalescing and conflicts are computed per issue group (the faithful
+    /// SIMT model, and the default).
+    #[default]
+    Lockstep,
+    /// Each lane costed independently, warp time = slowest lane; no
+    /// divergence, coalescing or conflict effects. The naive model a
+    /// simulator without SIMT awareness would use — kept as an ablation to
+    /// show the lockstep machinery is what exposes the paper's phenomena.
+    MaxLane,
+}
+
+/// Cycle prices for simulated GPU events plus the serial-CPU op model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per warp-wide arithmetic instruction.
+    pub alu_cycles: f64,
+    /// Fixed issue + pipelined-latency share per global memory instruction.
+    pub mem_base_cycles: f64,
+    /// Cycles per 128-byte global-memory transaction. Uncoalesced accesses
+    /// pay this once per distinct segment touched by the warp.
+    pub mem_transaction_cycles: f64,
+    /// Cycles per shared-memory access (multiplied by bank-conflict replays).
+    pub shared_cycles: f64,
+    /// Base cycles for a warp-wide atomic instruction.
+    pub atomic_base_cycles: f64,
+    /// Extra cycles per additional lane targeting the *same address* within
+    /// one warp atomic (intra-warp serialization).
+    pub atomic_conflict_cycles: f64,
+    /// Cheaper serialization for shared-memory atomics.
+    pub atomic_shared_conflict_cycles: f64,
+    /// Cycles for a block-wide barrier (`__syncthreads`).
+    pub sync_cycles: f64,
+    /// Host-side kernel launch overhead (driver + dispatch), in GPU cycles.
+    /// ~5 µs at the K20 clock.
+    pub host_launch_cycles: f64,
+    /// Device-side (dynamic parallelism) launch latency: delay between the
+    /// launching instruction and the child grid becoming schedulable.
+    /// Kepler-era measurements put this in the tens of microseconds when
+    /// many launches queue up [Wang & Yalamanchili, IISWC'14]; the queuing
+    /// component emerges from the scheduler, this is the per-launch floor.
+    pub device_launch_latency_cycles: f64,
+    /// Cycles spent *in the parent warp* per device-side launch (parameter
+    /// marshalling into the pending-launch pool). Launches by multiple lanes
+    /// of one warp serialize, so a warp where all 32 lanes launch pays 32x.
+    pub device_launch_issue_cycles: f64,
+    /// Device-wide pending-launch-pool service time: the Kepler runtime
+    /// processes device-side launches through a single software-managed
+    /// queue, so nested grids become schedulable at most one per this many
+    /// cycles. This queueing collapse under thousands of small launches is
+    /// the dominant dpar-naive pathology measured by Wang & Yalamanchili
+    /// [IISWC'14] and observed in the paper's Figure 5.
+    pub device_launch_service_cycles: f64,
+    /// Service-time multiplier once the pending-launch backlog exceeds the
+    /// device's fixed pool (`pending_launch_limit`): the Kepler runtime
+    /// falls back to a slow, memory-virtualized pool. This overflow regime
+    /// is what makes launch storms (dpar-naive, recursive BFS, simple
+    /// quicksort) collapse on real hardware.
+    pub pool_overflow_factor: f64,
+    /// Cycles to restore a parent block that was swapped out while waiting
+    /// for its children (Kepler virtualizes waiting parents; the save +
+    /// restore round trip is a large part of why in-kernel synchronization
+    /// after a nested launch is expensive).
+    pub swap_restore_cycles: f64,
+    /// Cost model for the serial CPU baselines.
+    pub cpu: CpuCostModel,
+    /// Divergence-timing ablation switch.
+    pub divergence: DivergenceModel,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu_cycles: 1.0,
+            mem_base_cycles: 8.0,
+            mem_transaction_cycles: 12.0,
+            shared_cycles: 2.0,
+            atomic_base_cycles: 24.0,
+            atomic_conflict_cycles: 20.0,
+            atomic_shared_conflict_cycles: 4.0,
+            sync_cycles: 12.0,
+            host_launch_cycles: 3_500.0,
+            device_launch_latency_cycles: 2_500.0,
+            device_launch_issue_cycles: 180.0,
+            device_launch_service_cycles: 2_000.0,
+            pool_overflow_factor: 16.0,
+            swap_restore_cycles: 800.0,
+            cpu: CpuCostModel::default(),
+            divergence: DivergenceModel::default(),
+        }
+    }
+}
+
+/// Cycle prices per operation class for the instrumented serial CPU
+/// reference implementations (see [`crate::cpu::CpuCounter`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuCostModel {
+    /// Arithmetic / logic op.
+    pub alu_cycles: f64,
+    /// Memory load, averaged over the cache hierarchy for the pointer-chasing
+    /// access patterns of irregular codes.
+    pub load_cycles: f64,
+    /// Memory store.
+    pub store_cycles: f64,
+    /// Conditional branch (includes average misprediction share).
+    pub branch_cycles: f64,
+    /// Function-call overhead (used by the recursive CPU baselines).
+    pub call_cycles: f64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        CpuCostModel {
+            alu_cycles: 1.0,
+            load_cycles: 4.0,
+            store_cycles: 2.0,
+            branch_cycles: 1.5,
+            call_cycles: 10.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let c = CostModel::default();
+        for v in [
+            c.alu_cycles,
+            c.mem_base_cycles,
+            c.mem_transaction_cycles,
+            c.shared_cycles,
+            c.atomic_base_cycles,
+            c.atomic_conflict_cycles,
+            c.atomic_shared_conflict_cycles,
+            c.sync_cycles,
+            c.host_launch_cycles,
+            c.device_launch_latency_cycles,
+            c.device_launch_issue_cycles,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn launch_overheads_dominate_single_instructions() {
+        // The pathology of dpar-naive rests on launches being orders of
+        // magnitude pricier than ordinary instructions; pin that invariant.
+        let c = CostModel::default();
+        assert!(c.device_launch_issue_cycles > 10.0 * c.mem_transaction_cycles);
+        assert!(c.host_launch_cycles > 10.0 * c.device_launch_issue_cycles);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CostModel::default();
+        let s = serde_json::to_string(&c).unwrap();
+        let back: CostModel = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

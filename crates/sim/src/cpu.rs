@@ -1,0 +1,127 @@
+//! Serial-CPU cost accounting for the paper's baselines.
+//!
+//! The serial reference implementations in `npar-apps` run for real (their
+//! outputs validate the GPU templates) while counting the operations they
+//! perform; [`CpuCounter::seconds`] converts the counts to modeled time via
+//! [`crate::cost::CpuCostModel`] and a [`crate::config::CpuConfig`] clock.
+
+use crate::config::CpuConfig;
+use crate::cost::CpuCostModel;
+use serde::{Deserialize, Serialize};
+
+/// Operation counters for one serial CPU run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuCounter {
+    /// Memory loads.
+    pub loads: u64,
+    /// Memory stores.
+    pub stores: u64,
+    /// Arithmetic/logic operations.
+    pub alu: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Function calls (recursion overhead).
+    pub calls: u64,
+}
+
+impl CpuCounter {
+    /// Record `n` loads.
+    #[inline]
+    pub fn load(&mut self, n: u64) {
+        self.loads += n;
+    }
+
+    /// Record `n` stores.
+    #[inline]
+    pub fn store(&mut self, n: u64) {
+        self.stores += n;
+    }
+
+    /// Record `n` ALU ops.
+    #[inline]
+    pub fn compute(&mut self, n: u64) {
+        self.alu += n;
+    }
+
+    /// Record `n` branches.
+    #[inline]
+    pub fn branch(&mut self, n: u64) {
+        self.branches += n;
+    }
+
+    /// Record `n` function calls.
+    #[inline]
+    pub fn call(&mut self, n: u64) {
+        self.calls += n;
+    }
+
+    /// Total modeled CPU cycles.
+    pub fn cycles(&self, cost: &CpuCostModel) -> f64 {
+        self.loads as f64 * cost.load_cycles
+            + self.stores as f64 * cost.store_cycles
+            + self.alu as f64 * cost.alu_cycles
+            + self.branches as f64 * cost.branch_cycles
+            + self.calls as f64 * cost.call_cycles
+    }
+
+    /// Total modeled seconds on `cpu`.
+    pub fn seconds(&self, cost: &CpuCostModel, cpu: &CpuConfig) -> f64 {
+        cpu.cycles_to_seconds(self.cycles(cost))
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &CpuCounter) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.alu += other.alu;
+        self.branches += other.branches;
+        self.calls += other.calls;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_weight_by_class() {
+        let mut c = CpuCounter::default();
+        c.load(10);
+        c.store(5);
+        c.compute(100);
+        c.branch(20);
+        c.call(2);
+        let m = CpuCostModel::default();
+        let expect = 10.0 * m.load_cycles
+            + 5.0 * m.store_cycles
+            + 100.0 * m.alu_cycles
+            + 20.0 * m.branch_cycles
+            + 2.0 * m.call_cycles;
+        assert!((c.cycles(&m) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_uses_clock() {
+        let mut c = CpuCounter::default();
+        c.compute(2_000_000_000);
+        let m = CpuCostModel::default();
+        let cpu = CpuConfig::xeon_e5_2620();
+        assert!((c.seconds(&m, &cpu) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CpuCounter {
+            loads: 1,
+            ..Default::default()
+        };
+        let b = CpuCounter {
+            loads: 2,
+            calls: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.loads, 3);
+        assert_eq!(a.calls, 7);
+    }
+}

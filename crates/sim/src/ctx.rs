@@ -1,0 +1,287 @@
+//! Execution contexts handed to kernels: [`BlockCtx`] drives one thread
+//! block, [`ThreadCtx`] records one thread's instruction stream.
+//!
+//! Functional semantics: threads of a block run sequentially inside each
+//! [`BlockCtx::for_each_thread`] sweep, and barriers are expressed *between*
+//! sweeps — so everything written before a [`BlockCtx::sync`] is visible to
+//! every thread after it, exactly the guarantee `__syncthreads` gives.
+//! Timing semantics come from the recorded traces, not execution order.
+
+use crate::engine::{register_grid, run_subtree, Engine, Origin};
+use crate::handle::GBuf;
+use crate::kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream};
+use crate::trace::Op;
+
+/// Context for one thread block of a running kernel.
+pub struct BlockCtx<'e> {
+    engine: &'e mut Engine,
+    grid_id: usize,
+    block_idx: u32,
+    cfg: LaunchConfig,
+    traces: Vec<Vec<Op>>,
+    state: BlockState,
+    /// Child grids launched by this block and not yet joined.
+    pending: Vec<usize>,
+}
+
+impl<'e> BlockCtx<'e> {
+    pub(crate) fn new(
+        engine: &'e mut Engine,
+        kernel: &dyn Kernel,
+        grid_id: usize,
+        block_idx: u32,
+        cfg: LaunchConfig,
+    ) -> Self {
+        let mut traces = std::mem::take(&mut engine.trace_pool);
+        for t in &mut traces {
+            t.clear();
+        }
+        traces.resize_with(cfg.block_dim as usize, Vec::new);
+        traces.truncate(cfg.block_dim as usize);
+        BlockCtx {
+            engine,
+            grid_id,
+            block_idx,
+            cfg,
+            traces,
+            state: kernel.block_state(block_idx),
+            pending: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<Vec<Op>>, Vec<usize>) {
+        (self.traces, self.pending)
+    }
+
+    /// Index of this block within its grid.
+    pub fn block_idx(&self) -> u32 {
+        self.block_idx
+    }
+
+    /// Threads per block.
+    pub fn block_dim(&self) -> u32 {
+        self.cfg.block_dim
+    }
+
+    /// Blocks in the grid.
+    pub fn grid_dim(&self) -> u32 {
+        self.cfg.grid_dim
+    }
+
+    /// Run `f` once for every thread of the block, in thread order.
+    ///
+    /// Call it several times with [`BlockCtx::sync`] in between to express
+    /// barrier-separated phases.
+    pub fn for_each_thread(&mut self, mut f: impl FnMut(&mut ThreadCtx<'_, '_>)) {
+        for t in 0..self.cfg.block_dim {
+            let mut ctx = ThreadCtx {
+                engine: &mut *self.engine,
+                trace: &mut self.traces[t as usize],
+                state: &mut self.state,
+                pending: &mut self.pending,
+                grid_id: self.grid_id,
+                block_idx: self.block_idx,
+                thread_idx: t,
+                block_dim: self.cfg.block_dim,
+                grid_dim: self.cfg.grid_dim,
+                _lifetime: std::marker::PhantomData,
+            };
+            f(&mut ctx);
+        }
+    }
+
+    /// Run `f` for the block leader (thread 0) only. Equivalent to a
+    /// `for_each_thread` whose closure is guarded by `is_leader()`, but
+    /// without touching the other threads — the fast path for the
+    /// leader-launches / leader-combines idioms.
+    pub fn leader(&mut self, f: impl FnOnce(&mut ThreadCtx<'_, '_>)) {
+        let mut ctx = ThreadCtx {
+            engine: &mut *self.engine,
+            trace: &mut self.traces[0],
+            state: &mut self.state,
+            pending: &mut self.pending,
+            grid_id: self.grid_id,
+            block_idx: self.block_idx,
+            thread_idx: 0,
+            block_dim: self.cfg.block_dim,
+            grid_dim: self.cfg.grid_dim,
+            _lifetime: std::marker::PhantomData,
+        };
+        f(&mut ctx);
+    }
+
+    /// Block-wide barrier (`__syncthreads`).
+    pub fn sync(&mut self) {
+        for t in &mut self.traces {
+            t.push(Op::Sync);
+        }
+    }
+
+    /// Block-wide barrier that additionally waits for every child grid this
+    /// block launched so far (the parent/child join of CUDA dynamic
+    /// parallelism). On the simulated device the waiting block is swapped
+    /// out and pays a restore penalty when it resumes — the Kepler
+    /// behaviour that makes in-kernel synchronization expensive.
+    pub fn sync_children(&mut self) {
+        // Functional join: drain the block's launched children (and their
+        // descendants) so their results are visible after the barrier.
+        for child in std::mem::take(&mut self.pending) {
+            run_subtree(self.engine, child);
+        }
+        for t in &mut self.traces {
+            t.push(Op::SyncChildren);
+        }
+    }
+
+    /// Access the block state created by [`Kernel::block_state`].
+    ///
+    /// Panics if the block has no state of type `T`.
+    pub fn state<T: 'static>(&mut self) -> &mut T {
+        self.state
+            .get_mut::<T>()
+            .expect("block state missing or of unexpected type")
+    }
+}
+
+/// Context for one thread: indices plus the instruction-recording API.
+pub struct ThreadCtx<'b, 'e> {
+    engine: &'b mut Engine,
+    trace: &'b mut Vec<Op>,
+    state: &'b mut BlockState,
+    pending: &'b mut Vec<usize>,
+    grid_id: usize,
+    block_idx: u32,
+    thread_idx: u32,
+    block_dim: u32,
+    grid_dim: u32,
+    #[allow(dead_code)]
+    _lifetime: std::marker::PhantomData<&'e ()>,
+}
+
+impl<'b, 'e> ThreadCtx<'b, 'e> {
+    /// `threadIdx.x`.
+    pub fn thread_idx(&self) -> u32 {
+        self.thread_idx
+    }
+
+    /// `blockIdx.x`.
+    pub fn block_idx(&self) -> u32 {
+        self.block_idx
+    }
+
+    /// `blockDim.x`.
+    pub fn block_dim(&self) -> u32 {
+        self.block_dim
+    }
+
+    /// `gridDim.x`.
+    pub fn grid_dim(&self) -> u32 {
+        self.grid_dim
+    }
+
+    /// Global linear thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    pub fn global_id(&self) -> usize {
+        self.block_idx as usize * self.block_dim as usize + self.thread_idx as usize
+    }
+
+    /// Total threads in the grid (grid-stride loop stride).
+    pub fn grid_threads(&self) -> usize {
+        self.grid_dim as usize * self.block_dim as usize
+    }
+
+    /// Whether this thread is the block leader (thread 0).
+    pub fn is_leader(&self) -> bool {
+        self.thread_idx == 0
+    }
+
+    /// Record `n` arithmetic instructions. Consecutive calls fuse.
+    pub fn compute(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(Op::Compute(last)) = self.trace.last_mut() {
+            *last += n;
+        } else {
+            self.trace.push(Op::Compute(n));
+        }
+    }
+
+    /// Record a global-memory load of element `i` of `buf`.
+    pub fn ld<T>(&mut self, buf: &GBuf<T>, i: usize) {
+        self.trace.push(Op::GlobalRead {
+            addr: buf.addr(i),
+            size: buf.elem_bytes(),
+        });
+    }
+
+    /// Record a global-memory store to element `i` of `buf`.
+    pub fn st<T>(&mut self, buf: &GBuf<T>, i: usize) {
+        self.trace.push(Op::GlobalWrite {
+            addr: buf.addr(i),
+            size: buf.elem_bytes(),
+        });
+    }
+
+    /// Record a global-memory atomic on element `i` of `buf`.
+    pub fn atomic<T>(&mut self, buf: &GBuf<T>, i: usize) {
+        self.trace.push(Op::AtomicGlobal { addr: buf.addr(i) });
+    }
+
+    /// Record a shared-memory load at byte offset `addr`.
+    pub fn shared_ld(&mut self, addr: u32) {
+        self.trace.push(Op::SharedRead { addr });
+    }
+
+    /// Record a shared-memory store at byte offset `addr`.
+    pub fn shared_st(&mut self, addr: u32) {
+        self.trace.push(Op::SharedWrite { addr });
+    }
+
+    /// Record a shared-memory atomic at byte offset `addr`.
+    pub fn shared_atomic(&mut self, addr: u32) {
+        self.trace.push(Op::AtomicShared { addr });
+    }
+
+    /// Launch a child grid (CUDA dynamic parallelism) into `stream`.
+    ///
+    /// Like on hardware, the child does not run at the launch point: its
+    /// functional execution is deferred until the launching block joins it
+    /// ([`BlockCtx::sync_children`]) or the parent grid completes.
+    /// Templates that skip the join get fire-and-forget semantics and must
+    /// not read child results before then. The modeled *timing* is
+    /// scheduled from the launch point plus the device launch latency and
+    /// pending-pool service time.
+    ///
+    /// Panics on a launch configuration the device cannot accept, which is
+    /// always a template bug.
+    pub fn launch(&mut self, kernel: &KernelRef, cfg: LaunchConfig, stream: Stream) {
+        self.engine
+            .validate(&cfg)
+            .expect("invalid device-side launch configuration");
+        let slot = match stream {
+            Stream::Default => 0,
+            Stream::Slot(n) => n,
+        };
+        let child = register_grid(
+            self.engine,
+            kernel,
+            cfg,
+            Origin::Device {
+                parent: self.grid_id,
+                block: self.block_idx,
+                stream_slot: slot,
+            },
+        );
+        self.pending.push(child);
+        self.trace.push(Op::Launch {
+            grid: u32::try_from(child).expect("grid id overflow"),
+        });
+    }
+
+    /// Access the block state created by [`Kernel::block_state`].
+    pub fn state<T: 'static>(&mut self) -> &mut T {
+        self.state
+            .get_mut::<T>()
+            .expect("block state missing or of unexpected type")
+    }
+}

@@ -1,0 +1,222 @@
+//! The top-level [`Gpu`] handle: allocate address space, launch kernels,
+//! synchronize, and collect reports.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::engine::{register_grid, Engine, Origin};
+use crate::error::SimError;
+use crate::handle::{GBuf, GlobalAllocator};
+use crate::kernel::{KernelRef, LaunchConfig, Stream};
+use crate::profiler::Report;
+use crate::sched::simulate;
+
+/// A simulated GPU.
+///
+/// Usage mirrors a CUDA host program:
+///
+/// ```
+/// use std::rc::Rc;
+/// use npar_sim::{Gpu, LaunchConfig, ThreadKernel, ThreadCtx};
+///
+/// struct Saxpy { n: usize, x: npar_sim::GBuf<f32>, y: npar_sim::GBuf<f32> }
+/// impl ThreadKernel for Saxpy {
+///     fn name(&self) -> &str { "saxpy" }
+///     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+///         let i = t.global_id();
+///         if i < self.n {
+///             t.ld(&self.x, i);
+///             t.ld(&self.y, i);
+///             t.compute(2);
+///             t.st(&self.y, i);
+///         }
+///     }
+/// }
+///
+/// let mut gpu = Gpu::k20();
+/// let x = gpu.alloc::<f32>(1024);
+/// let y = gpu.alloc::<f32>(1024);
+/// gpu.launch(Rc::new(Saxpy { n: 1024, x, y }), LaunchConfig::cover(1024, 192, 1 << 20)).unwrap();
+/// let report = gpu.synchronize();
+/// assert!(report.cycles > 0.0);
+/// assert!((report.total().warp_execution_efficiency() - 1.0).abs() < 1e-9);
+/// ```
+pub struct Gpu {
+    engine: Engine,
+    alloc: GlobalAllocator,
+}
+
+impl Gpu {
+    /// New simulated GPU with the given device and cost models.
+    pub fn new(device: DeviceConfig, cost: CostModel) -> Self {
+        Gpu {
+            engine: Engine::new(device, cost),
+            alloc: GlobalAllocator::new(),
+        }
+    }
+
+    /// A Tesla K20 with default costs — the paper's testbed.
+    pub fn k20() -> Self {
+        Gpu::new(DeviceConfig::kepler_k20(), CostModel::default())
+    }
+
+    /// The tiny test device.
+    pub fn tiny() -> Self {
+        Gpu::new(DeviceConfig::tiny(), CostModel::default())
+    }
+
+    /// The device description.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.engine.device
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.engine.cost
+    }
+
+    /// Allocate simulated global memory for `len` elements of `T`.
+    pub fn alloc<T>(&mut self, len: usize) -> GBuf<T> {
+        self.alloc.alloc::<T>(len)
+    }
+
+    /// Launch a kernel into host stream 0.
+    ///
+    /// The kernel executes functionally before this returns (its effects on
+    /// application state are visible immediately); its modeled *timing*
+    /// accrues to the next [`Gpu::synchronize`].
+    pub fn launch(&mut self, kernel: KernelRef, cfg: LaunchConfig) -> Result<(), SimError> {
+        self.launch_in(kernel, cfg, Stream::Default)
+    }
+
+    /// Launch a kernel into a chosen host stream.
+    pub fn launch_in(
+        &mut self,
+        kernel: KernelRef,
+        cfg: LaunchConfig,
+        stream: Stream,
+    ) -> Result<(), SimError> {
+        self.engine.validate(&cfg)?;
+        let stream = match stream {
+            Stream::Default => 0,
+            Stream::Slot(n) => n,
+        };
+        let seq = self.engine.host_seq;
+        self.engine.host_seq += 1;
+        register_grid(&mut self.engine, &kernel, cfg, Origin::Host { seq, stream });
+        Ok(())
+    }
+
+    /// Finish the pending batch: run the timing simulation over everything
+    /// launched since the previous synchronize and return its [`Report`].
+    pub fn synchronize(&mut self) -> Report {
+        let timing = simulate(&self.engine.grids, &self.engine.device, &self.engine.cost);
+        let host_launches = self
+            .engine
+            .grids
+            .iter()
+            .filter(|g| matches!(g.origin, Origin::Host { .. }))
+            .count() as u64;
+        let device_launches = self.engine.grids.len() as u64 - host_launches;
+        let kernels = std::mem::take(&mut self.engine.metrics);
+        self.engine.grids.clear();
+        self.engine.host_seq = 0;
+        Report {
+            device: self.engine.device.name.clone(),
+            cycles: timing.makespan,
+            seconds: self.engine.device.cycles_to_seconds(timing.makespan),
+            achieved_occupancy: timing.achieved_occupancy,
+            host_launches,
+            device_launches,
+            overflow_launches: timing.overflow_launches,
+            kernels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ThreadCtx;
+    use crate::kernel::ThreadKernel;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct CountKernel {
+        n: usize,
+        hits: Rc<RefCell<Vec<u32>>>,
+    }
+    impl ThreadKernel for CountKernel {
+        fn name(&self) -> &str {
+            "count"
+        }
+        fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+            let stride = t.grid_threads();
+            let mut i = t.global_id();
+            while i < self.n {
+                self.hits.borrow_mut()[i] += 1;
+                t.compute(1);
+                i += stride;
+            }
+        }
+    }
+
+    #[test]
+    fn grid_stride_covers_every_item_once() {
+        let mut gpu = Gpu::tiny();
+        let n = 1000;
+        let hits = Rc::new(RefCell::new(vec![0u32; n]));
+        let k = Rc::new(CountKernel {
+            n,
+            hits: hits.clone(),
+        });
+        gpu.launch(k, LaunchConfig::new(4, 64)).unwrap();
+        let report = gpu.synchronize();
+        assert!(hits.borrow().iter().all(|&h| h == 1));
+        assert_eq!(report.host_launches, 1);
+        assert_eq!(report.device_launches, 0);
+        assert!(report.cycles > 0.0);
+    }
+
+    #[test]
+    fn synchronize_resets_batch() {
+        let mut gpu = Gpu::tiny();
+        let hits = Rc::new(RefCell::new(vec![0u32; 10]));
+        let k = Rc::new(CountKernel {
+            n: 10,
+            hits: hits.clone(),
+        });
+        gpu.launch(k.clone(), LaunchConfig::new(1, 32)).unwrap();
+        let r1 = gpu.synchronize();
+        let r2 = gpu.synchronize();
+        assert!(r1.cycles > 0.0);
+        assert_eq!(r2.cycles, 0.0);
+        assert_eq!(r2.host_launches, 0);
+    }
+
+    #[test]
+    fn launch_rejects_oversized_block() {
+        let mut gpu = Gpu::tiny();
+        let hits = Rc::new(RefCell::new(vec![0u32; 1]));
+        let k = Rc::new(CountKernel { n: 1, hits });
+        assert!(gpu.launch(k, LaunchConfig::new(1, 4096)).is_err());
+    }
+
+    #[test]
+    fn reports_merge_across_batches() {
+        let mut gpu = Gpu::tiny();
+        let hits = Rc::new(RefCell::new(vec![0u32; 64]));
+        let k = Rc::new(CountKernel {
+            n: 64,
+            hits: hits.clone(),
+        });
+        gpu.launch(k.clone(), LaunchConfig::new(1, 64)).unwrap();
+        let mut total = gpu.synchronize();
+        gpu.launch(k, LaunchConfig::new(1, 64)).unwrap();
+        let r2 = gpu.synchronize();
+        let c1 = total.cycles;
+        total.merge(&r2);
+        assert!((total.cycles - (c1 + r2.cycles)).abs() < 1e-9);
+        assert_eq!(total.host_launches, 2);
+        assert_eq!(hits.borrow()[0], 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Functional execution engine: runs kernels thread-by-thread (depth-first
+//! across dynamic-parallelism launches), recording traces and producing the
+//! grid/block timing tasks consumed by the scheduler.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::block::{finalize_block, BlockOutcome};
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::ctx::BlockCtx;
+use crate::error::SimError;
+use crate::kernel::{KernelRef, LaunchConfig};
+use crate::profiler::KernelMetrics;
+use crate::warp::AlignScratch;
+
+/// Where a grid was launched from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Origin {
+    /// Host launch number `seq` into host stream `stream`.
+    Host { seq: u32, stream: u32 },
+    /// Device launch from `parent` grid's block `block` into that block's
+    /// stream slot `stream_slot`.
+    Device {
+        parent: usize,
+        block: u32,
+        stream_slot: u32,
+    },
+}
+
+/// A grid registered for execution. Device-launched grids are *deferred*:
+/// `kernel` holds the pending work until the parent reaches a
+/// `sync_children` barrier or completes (the CUDA ordering — a child never
+/// runs before its launching warp proceeds). Once executed, `kernel` is
+/// dropped and `blocks` is populated.
+pub(crate) struct GridTask {
+    /// Kernel name (kept for debugging dumps; metrics key on it already).
+    #[allow(dead_code)]
+    pub name: String,
+    pub cfg: LaunchConfig,
+    pub origin: Origin,
+    pub blocks: Vec<BlockOutcome>,
+    pub children: Vec<usize>,
+    /// Pending functional work (None once executed).
+    pub kernel: Option<KernelRef>,
+}
+
+/// Engine state for one batch (between synchronizations).
+pub(crate) struct Engine {
+    pub device: DeviceConfig,
+    pub cost: CostModel,
+    pub grids: Vec<GridTask>,
+    pub metrics: BTreeMap<String, KernelMetrics>,
+    pub host_seq: u32,
+    pub scratch: AlignScratch,
+    /// Recycled per-thread trace buffers (capacity survives across blocks,
+    /// which keeps millions of small blocks allocation-free).
+    pub trace_pool: Vec<Vec<crate::trace::Op>>,
+}
+
+impl Engine {
+    pub(crate) fn new(device: DeviceConfig, cost: CostModel) -> Self {
+        Engine {
+            device,
+            cost,
+            grids: Vec::new(),
+            metrics: BTreeMap::new(),
+            host_seq: 0,
+            scratch: AlignScratch::default(),
+            trace_pool: Vec::new(),
+        }
+    }
+
+    /// Validate a launch configuration against the device limits.
+    pub(crate) fn validate(&self, cfg: &LaunchConfig) -> Result<(), SimError> {
+        if cfg.grid_dim == 0 || cfg.block_dim == 0 {
+            return Err(SimError::InvalidLaunch(
+                "grid and block dimensions must be >= 1".into(),
+            ));
+        }
+        if cfg.block_dim > self.device.max_threads_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "block_dim {} exceeds device limit {}",
+                cfg.block_dim, self.device.max_threads_per_block
+            )));
+        }
+        if cfg.grid_dim > self.device.max_grid_dim {
+            return Err(SimError::InvalidLaunch(format!(
+                "grid_dim {} exceeds device limit {}",
+                cfg.grid_dim, self.device.max_grid_dim
+            )));
+        }
+        if cfg.shared_mem_bytes > self.device.shared_mem_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "shared memory {} exceeds per-block limit {}",
+                cfg.shared_mem_bytes, self.device.shared_mem_per_block
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Register a grid. Host-origin grids execute immediately; device-origin
+/// grids are deferred until their parent joins them (or completes).
+pub(crate) fn register_grid(
+    engine: &mut Engine,
+    kernel: &KernelRef,
+    cfg: LaunchConfig,
+    origin: Origin,
+) -> usize {
+    let name = kernel.name().to_string();
+    let id = engine.grids.len();
+    engine.grids.push(GridTask {
+        name: name.clone(),
+        cfg,
+        origin,
+        blocks: Vec::with_capacity(cfg.grid_dim as usize),
+        children: Vec::new(),
+        kernel: Some(Rc::clone(kernel)),
+    });
+    if let Origin::Device { parent, .. } = origin {
+        engine.grids[parent].children.push(id);
+    }
+    engine.metrics.entry(name).or_default().grids += 1;
+    if matches!(origin, Origin::Host { .. }) {
+        run_grid(engine, id);
+    }
+    id
+}
+
+/// Execute one registered grid's blocks (no descendant handling).
+fn execute_blocks(engine: &mut Engine, id: usize) {
+    let Some(kernel) = engine.grids[id].kernel.take() else {
+        return; // already executed
+    };
+    let cfg = engine.grids[id].cfg;
+    let name = kernel.name().to_string();
+    for b in 0..cfg.grid_dim {
+        let mut blk = BlockCtx::new(engine, kernel.as_ref(), id, b, cfg);
+        kernel.run_block(&mut blk);
+        let (traces, pending) = blk.into_parts();
+        // Split-borrow the engine so alignment can stream into the metrics
+        // accumulator while reading the device/cost config.
+        let Engine {
+            device,
+            cost,
+            metrics,
+            scratch,
+            grids,
+            ..
+        } = engine;
+        let m = metrics.entry(name.clone()).or_default();
+        let outcome = finalize_block(&traces, device, cost, m, scratch);
+        grids[id].blocks.push(outcome);
+        debug_assert!(
+            pending.is_empty() || grids[id].children.iter().any(|c| pending.contains(c)),
+            "pending launches must be registered children"
+        );
+        engine.trace_pool = traces;
+    }
+}
+
+/// Drive a host-launched grid and its whole descendant tree to functional
+/// completion. Fire-and-forget children execute breadth-first in launch
+/// order (the closest sequential stand-in for concurrent hardware, and
+/// what keeps unordered recursive traversals from degenerating into
+/// depth-first re-relaxation storms); joined children were already drained
+/// depth-first at their `sync_children` barrier.
+pub(crate) fn run_grid(engine: &mut Engine, id: usize) {
+    let mut queue = std::collections::VecDeque::from([id]);
+    while let Some(g) = queue.pop_front() {
+        execute_blocks(engine, g);
+        queue.extend(engine.grids[g].children.iter().copied());
+    }
+}
+
+/// Fully execute a grid and its descendants depth-first — the functional
+/// effect of a parent block joining a child at `sync_children` (the join
+/// covers the child's own nested work, as on hardware).
+pub(crate) fn run_subtree(engine: &mut Engine, id: usize) {
+    execute_blocks(engine, id);
+    let mut next = 0;
+    while next < engine.grids[id].children.len() {
+        let child = engine.grids[id].children[next];
+        run_subtree(engine, child);
+        next += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ThreadCtx;
+    use crate::kernel::ThreadKernel;
+    use std::rc::Rc;
+
+    struct Noop;
+    impl ThreadKernel for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+            t.compute(1);
+        }
+    }
+
+    #[test]
+    fn executes_all_blocks_and_threads() {
+        let mut e = Engine::new(DeviceConfig::tiny(), CostModel::default());
+        let k: KernelRef = Rc::new(Noop);
+        let id = register_grid(
+            &mut e,
+            &k,
+            LaunchConfig::new(3, 64),
+            Origin::Host { seq: 0, stream: 0 },
+        );
+        assert_eq!(id, 0);
+        assert_eq!(e.grids[0].blocks.len(), 3);
+        assert!(e.grids[0].kernel.is_none(), "host grid runs immediately");
+        let m = &e.metrics["noop"];
+        assert_eq!(m.grids, 1);
+        assert_eq!(m.blocks, 3);
+        assert_eq!(m.threads, 192);
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let e = Engine::new(DeviceConfig::tiny(), CostModel::default());
+        assert!(e.validate(&LaunchConfig::new(0, 32)).is_err());
+        assert!(e.validate(&LaunchConfig::new(1, 0)).is_err());
+        assert!(e.validate(&LaunchConfig::new(1, 512)).is_err()); // > 256
+        assert!(e
+            .validate(&LaunchConfig::with_shared(1, 32, 1 << 20))
+            .is_err());
+        assert!(e.validate(&LaunchConfig::new(4, 128)).is_ok());
+    }
+}

@@ -1,0 +1,31 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors surfaced by the simulator's host-side API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A launch configuration violates a device limit.
+    InvalidLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidLaunch("block too big".into());
+        assert!(e.to_string().contains("block too big"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Global-memory address handles.
+//!
+//! The simulator times memory behaviour from *addresses*, while the actual
+//! data of an application lives in ordinary Rust containers owned by the
+//! kernel (the simulator is functional + timing, not a byte-level machine).
+//! [`GBuf`] hands out non-overlapping address ranges from a bump allocator so
+//! that coalescing analysis sees a realistic address space: distinct arrays
+//! never share a 128-byte segment, and element `i` of a `GBuf<T>` sits at
+//! `base + i * size_of::<T>()` exactly as a `cudaMalloc`'d array would.
+
+use std::marker::PhantomData;
+
+/// Alignment for every allocation: one memory transaction segment, so two
+/// buffers never straddle the same segment.
+const ALLOC_ALIGN: u64 = 128;
+
+/// Bump allocator for the simulated global address space.
+#[derive(Debug, Default)]
+pub struct GlobalAllocator {
+    cursor: u64,
+}
+
+impl GlobalAllocator {
+    /// Fresh allocator starting at a non-zero base (so address 0 never
+    /// appears; helps catch uninitialized handles in tests).
+    pub fn new() -> Self {
+        GlobalAllocator {
+            cursor: ALLOC_ALIGN,
+        }
+    }
+
+    /// Allocate an address range for `len` elements of `T`.
+    pub fn alloc<T>(&mut self, len: usize) -> GBuf<T> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        let base = self.cursor;
+        self.cursor += bytes.div_ceil(ALLOC_ALIGN).max(1) * ALLOC_ALIGN;
+        GBuf {
+            base,
+            len,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Total bytes of address space handed out so far.
+    pub fn used_bytes(&self) -> u64 {
+        self.cursor - ALLOC_ALIGN
+    }
+}
+
+/// An address range in simulated global memory holding `len` elements of
+/// type `T`. Copyable — it is an address, not storage.
+pub struct GBuf<T> {
+    base: u64,
+    len: usize,
+    _elem: PhantomData<T>,
+}
+
+impl<T> Clone for GBuf<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for GBuf<T> {}
+
+impl<T> std::fmt::Debug for GBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GBuf(base={:#x}, len={})", self.base, self.len)
+    }
+}
+
+impl<T> GBuf<T> {
+    /// Number of elements in the range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_bytes(&self) -> u8 {
+        debug_assert!(std::mem::size_of::<T>() <= u8::MAX as usize);
+        std::mem::size_of::<T>() as u8
+    }
+
+    /// Address of element `i`.
+    ///
+    /// Panics (debug) when out of range — an out-of-bounds simulated access
+    /// is always a bug in a kernel.
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len, "GBuf access {i} out of range {}", self.len);
+        self.base + (i * std::mem::size_of::<T>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_do_not_overlap() {
+        let mut a = GlobalAllocator::new();
+        let x = a.alloc::<f32>(100);
+        let y = a.alloc::<u32>(7);
+        let x_end = x.addr(99) + 4;
+        assert!(y.addr(0) >= x_end);
+        assert_eq!(y.addr(0) % ALLOC_ALIGN, 0);
+    }
+
+    #[test]
+    fn addresses_are_contiguous() {
+        let mut a = GlobalAllocator::new();
+        let x = a.alloc::<u64>(16);
+        for i in 0..15 {
+            assert_eq!(x.addr(i + 1) - x.addr(i), 8);
+        }
+        assert_eq!(x.elem_bytes(), 8);
+    }
+
+    #[test]
+    fn zero_len_alloc_still_unique() {
+        let mut a = GlobalAllocator::new();
+        let x = a.alloc::<u8>(0);
+        let y = a.alloc::<u8>(1);
+        assert!(x.is_empty());
+        assert_ne!(
+            // bases differ even though x is empty
+            format!("{x:?}"),
+            format!("{y:?}")
+        );
+    }
+
+    #[test]
+    fn used_bytes_tracks_cursor() {
+        let mut a = GlobalAllocator::new();
+        assert_eq!(a.used_bytes(), 0);
+        a.alloc::<f64>(3); // 24 bytes -> one 128B slab
+        assert_eq!(a.used_bytes(), 128);
+    }
+}

@@ -1,0 +1,53 @@
+//! # npar-sim — a discrete-event SIMT GPU simulator
+//!
+//! The execution substrate for the npar reproduction of *"Nested Parallelism
+//! on GPU: Exploring Parallelization Templates for Irregular Loops and
+//! Recursive Computations"* (Li, Wu, Becchi — ICPP 2015). The paper's
+//! evaluation requires an Nvidia K20 with CUDA dynamic parallelism and
+//! `nvprof`; this crate provides a software equivalent with the mechanisms
+//! the paper measures as first-class citizens:
+//!
+//! * **SIMT execution** — kernels run thread-by-thread functionally while
+//!   recording instruction traces; warps replay the traces in lockstep, so
+//!   irregular inner loops produce exactly the divergence (warp execution
+//!   efficiency) the paper profiles.
+//! * **Memory system** — 128-byte-transaction coalescing (gld/gst
+//!   efficiency), shared memory with bank conflicts, and atomics with
+//!   intra-warp same-address serialization.
+//! * **Device scheduler** — blocks dispatch to SMs under the occupancy
+//!   limits, SM issue bandwidth is shared, streams serialize, and child
+//!   grids (dynamic parallelism) release after a launch latency; parents
+//!   that join their children swap out and pay a restore penalty.
+//! * **Profiling** — `nvprof`-style metrics per kernel name.
+//!
+//! See `DESIGN.md` at the workspace root for the full substitution argument
+//! and the cost-model calibration policy.
+
+#![warn(missing_docs)]
+
+mod block;
+pub mod config;
+pub mod cost;
+pub mod cpu;
+mod ctx;
+mod device;
+mod engine;
+mod error;
+mod handle;
+mod kernel;
+mod memory;
+pub mod occupancy;
+pub mod profiler;
+mod sched;
+mod trace;
+mod warp;
+
+pub use config::{CpuConfig, DeviceConfig};
+pub use cost::{CostModel, CpuCostModel, DivergenceModel};
+pub use cpu::CpuCounter;
+pub use ctx::{BlockCtx, ThreadCtx};
+pub use device::Gpu;
+pub use error::SimError;
+pub use handle::{GBuf, GlobalAllocator};
+pub use kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream, ThreadKernel};
+pub use profiler::{KernelMetrics, Report};

@@ -1,0 +1,291 @@
+//! Profiling counters and reports, mirroring the `nvprof` metrics the paper
+//! collects: warp execution efficiency, global load/store efficiency,
+//! achieved occupancy, kernel-launch and atomic counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated for one kernel name across every grid, block and
+/// warp that executed under it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelMetrics {
+    /// Grids launched under this kernel name.
+    pub grids: u64,
+    /// Thread blocks executed.
+    pub blocks: u64,
+    /// Threads executed.
+    pub threads: u64,
+    /// Warp-instruction issue slots: `warp_size ×` (weighted) instructions
+    /// issued. Denominator of warp execution efficiency.
+    pub issue_slots: f64,
+    /// Active-lane slots actually used. Numerator of warp execution
+    /// efficiency.
+    pub active_slots: f64,
+    /// Bytes requested by global loads.
+    pub gld_requested_bytes: u64,
+    /// Transactions performed for global loads.
+    pub gld_transactions: u64,
+    /// Bytes requested by global stores.
+    pub gst_requested_bytes: u64,
+    /// Transactions performed for global stores.
+    pub gst_transactions: u64,
+    /// Shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Shared-memory replay transactions caused by bank conflicts.
+    pub shared_replays: u64,
+    /// Global-memory atomic operations (per lane).
+    pub atomics_global: u64,
+    /// Shared-memory atomic operations (per lane).
+    pub atomics_shared: u64,
+    /// Device-side (nested) kernel launches performed by this kernel.
+    pub device_launches: u64,
+    /// Block-wide barriers executed.
+    pub barriers: u64,
+    /// Total warp execution cycles (work, not span).
+    pub work_cycles: f64,
+}
+
+impl KernelMetrics {
+    /// `nvprof` `warp_execution_efficiency`: average fraction of active
+    /// lanes per issued warp instruction. 1.0 when no divergence.
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        if self.issue_slots == 0.0 {
+            1.0
+        } else {
+            self.active_slots / self.issue_slots
+        }
+    }
+
+    /// `nvprof` `gld_efficiency`: requested global-load throughput over
+    /// required transaction throughput. Can exceed 1.0 for broadcast
+    /// patterns (many lanes served by one transaction), as on hardware.
+    pub fn gld_efficiency(&self) -> f64 {
+        ratio_bytes(self.gld_requested_bytes, self.gld_transactions)
+    }
+
+    /// `nvprof` `gst_efficiency` for stores.
+    pub fn gst_efficiency(&self) -> f64 {
+        ratio_bytes(self.gst_requested_bytes, self.gst_transactions)
+    }
+
+    /// Total atomic operations (global + shared).
+    pub fn atomics(&self) -> u64 {
+        self.atomics_global + self.atomics_shared
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &KernelMetrics) {
+        self.grids += other.grids;
+        self.blocks += other.blocks;
+        self.threads += other.threads;
+        self.issue_slots += other.issue_slots;
+        self.active_slots += other.active_slots;
+        self.gld_requested_bytes += other.gld_requested_bytes;
+        self.gld_transactions += other.gld_transactions;
+        self.gst_requested_bytes += other.gst_requested_bytes;
+        self.gst_transactions += other.gst_transactions;
+        self.shared_accesses += other.shared_accesses;
+        self.shared_replays += other.shared_replays;
+        self.atomics_global += other.atomics_global;
+        self.atomics_shared += other.atomics_shared;
+        self.device_launches += other.device_launches;
+        self.barriers += other.barriers;
+        self.work_cycles += other.work_cycles;
+    }
+}
+
+fn ratio_bytes(requested: u64, transactions: u64) -> f64 {
+    if transactions == 0 {
+        1.0
+    } else {
+        requested as f64 / (transactions as f64 * 128.0)
+    }
+}
+
+/// Execution report for one synchronized batch of kernel launches:
+/// wall-clock model plus per-kernel profiling counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Device name.
+    pub device: String,
+    /// Modeled elapsed GPU cycles (makespan of the batch).
+    pub cycles: f64,
+    /// Modeled elapsed seconds.
+    pub seconds: f64,
+    /// Time-averaged resident warps over `num_sms × max_warps_per_sm`
+    /// (`nvprof` "achieved occupancy"), averaged over the busy makespan.
+    pub achieved_occupancy: f64,
+    /// Kernels launched from the host.
+    pub host_launches: u64,
+    /// Kernels launched from the device (dynamic parallelism), total.
+    pub device_launches: u64,
+    /// Device launches that overflowed the fixed pending-launch pool into
+    /// the slow virtualized pool.
+    pub overflow_launches: u64,
+    /// Per-kernel-name metrics.
+    pub kernels: BTreeMap<String, KernelMetrics>,
+}
+
+impl Report {
+    /// Aggregate the per-kernel counters into one [`KernelMetrics`].
+    pub fn total(&self) -> KernelMetrics {
+        self.total_where(|_| true)
+    }
+
+    /// Aggregate the counters of the kernels whose name satisfies the
+    /// predicate — e.g. profiling only an algorithm's irregular kernels
+    /// like the paper's per-kernel nvprof tables do.
+    pub fn total_where(&self, mut keep: impl FnMut(&str) -> bool) -> KernelMetrics {
+        let mut acc = KernelMetrics::default();
+        for (name, m) in &self.kernels {
+            if keep(name) {
+                acc.merge(m);
+            }
+        }
+        acc
+    }
+
+    /// Aggregate warp execution efficiency across all kernels.
+    pub fn warp_execution_efficiency(&self) -> f64 {
+        self.total().warp_execution_efficiency()
+    }
+
+    /// Merge another report (summing times and counters) — used by hosts
+    /// that synchronize several batches and want one figure.
+    pub fn merge(&mut self, other: &Report) {
+        if self.device.is_empty() {
+            self.device.clone_from(&other.device);
+        }
+        // Occupancy averages weighted by elapsed cycles.
+        let total_cycles = self.cycles + other.cycles;
+        if total_cycles > 0.0 {
+            self.achieved_occupancy = (self.achieved_occupancy * self.cycles
+                + other.achieved_occupancy * other.cycles)
+                / total_cycles;
+        }
+        self.cycles = total_cycles;
+        self.seconds += other.seconds;
+        self.host_launches += other.host_launches;
+        self.device_launches += other.device_launches;
+        self.overflow_launches += other.overflow_launches;
+        for (name, m) in &other.kernels {
+            self.kernels.entry(name.clone()).or_default().merge(m);
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.device)?;
+        writeln!(
+            f,
+            "elapsed: {:.3} ms ({:.0} cycles)   achieved occupancy: {:5.1}%",
+            self.seconds * 1e3,
+            self.cycles,
+            self.achieved_occupancy * 100.0
+        )?;
+        writeln!(
+            f,
+            "launches: {} host, {} device",
+            self.host_launches, self.device_launches
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>7} {:>9} {:>9} {:>9} {:>10} {:>8}",
+            "kernel", "grids", "warp_eff", "gld_eff", "gst_eff", "atomics", "dlaunch"
+        )?;
+        for (name, m) in &self.kernels {
+            writeln!(
+                f,
+                "{:<28} {:>7} {:>8.1}% {:>8.1}% {:>8.1}% {:>10} {:>8}",
+                name,
+                m.grids,
+                m.warp_execution_efficiency() * 100.0,
+                m.gld_efficiency() * 100.0,
+                m.gst_efficiency() * 100.0,
+                m.atomics(),
+                m.device_launches,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_bounds() {
+        let mut m = KernelMetrics::default();
+        assert_eq!(m.warp_execution_efficiency(), 1.0);
+        m.issue_slots = 64.0;
+        m.active_slots = 16.0;
+        assert!((m.warp_execution_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gld_efficiency_scattered_vs_coalesced() {
+        let mut m = KernelMetrics {
+            gld_requested_bytes: 128,
+            gld_transactions: 1,
+            ..Default::default()
+        };
+        assert!((m.gld_efficiency() - 1.0).abs() < 1e-12);
+        m.gld_transactions = 32;
+        assert!((m.gld_efficiency() - 0.03125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = KernelMetrics {
+            grids: 1,
+            atomics_global: 5,
+            issue_slots: 32.0,
+            active_slots: 32.0,
+            ..Default::default()
+        };
+        let b = KernelMetrics {
+            grids: 2,
+            atomics_shared: 3,
+            issue_slots: 32.0,
+            active_slots: 16.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.grids, 3);
+        assert_eq!(a.atomics(), 8);
+        assert!((a.warp_execution_efficiency() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_merge_weights_occupancy() {
+        let mut a = Report {
+            cycles: 100.0,
+            achieved_occupancy: 0.5,
+            ..Default::default()
+        };
+        let b = Report {
+            cycles: 300.0,
+            achieved_occupancy: 0.9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!((a.achieved_occupancy - 0.8).abs() < 1e-12);
+        assert_eq!(a.cycles, 400.0);
+    }
+
+    #[test]
+    fn display_contains_kernel_rows() {
+        let mut r = Report {
+            device: "test".into(),
+            ..Default::default()
+        };
+        r.kernels.insert("spmv".into(), KernelMetrics::default());
+        let s = r.to_string();
+        assert!(s.contains("spmv"));
+        assert!(s.contains("warp_eff"));
+    }
+}

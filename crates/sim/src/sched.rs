@@ -1,0 +1,801 @@
+//! Event-driven device scheduler.
+//!
+//! Takes the grid tasks produced by functional execution and plays them
+//! against the device model: thread blocks are dispatched to SMs under the
+//! occupancy limits, SM issue bandwidth is shared between resident blocks,
+//! grids in one stream serialize, child grids become schedulable a launch
+//! latency after their launching instruction, and parent blocks that join
+//! their children (`SyncChildren`) are swapped out while they wait — the
+//! Kepler dynamic-parallelism behaviour whose overhead the paper measures.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::engine::{GridTask, Origin};
+
+/// Hardware work-queue window: how many grids the dispatcher considers
+/// concurrently when the head grid cannot place a block (HyperQ depth).
+const DISPATCH_WINDOW: usize = 32;
+
+/// Result of timing simulation for one batch of grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TimingResult {
+    /// Batch makespan in device cycles.
+    pub makespan: f64,
+    /// Time-averaged resident warps / device warp capacity.
+    pub achieved_occupancy: f64,
+    /// Device launches serviced in the slow virtualized-pool regime.
+    pub overflow_launches: u64,
+}
+
+/// Total order on event times (f64) for the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+impl Eq for TimeKey {}
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Grid became schedulable (launch latency elapsed).
+    Release(usize),
+    /// Block finished its current segment.
+    SegDone(usize, u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SKey {
+    Host(u32),
+    Dev {
+        parent: usize,
+        block: u32,
+        slot: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BState {
+    NotStarted,
+    Running,
+    /// Waiting for children, swapped off the SM.
+    Swapped,
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct BlockRt {
+    state: BState,
+    /// Current (or, when swapped, next) segment index.
+    seg: usize,
+    sm: usize,
+    unfinished_children: u32,
+}
+
+#[derive(Debug)]
+struct GridRt {
+    released: bool,
+    started: bool,
+    done: bool,
+    /// Device-launched grids pass once through the pending-launch-pool
+    /// service queue before release.
+    launch_serviced: bool,
+    next_block: usize,
+    blocks_left: usize,
+    children_left: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Sm {
+    free_blocks: u32,
+    free_threads: u32,
+    free_warps: u32,
+    free_smem: u32,
+    free_regs: u32,
+}
+
+struct Sim<'a> {
+    grids: &'a [GridTask],
+    device: &'a DeviceConfig,
+    cost: &'a CostModel,
+    heap: BinaryHeap<Reverse<(TimeKey, u64, Ev)>>,
+    seq: u64,
+    grt: Vec<GridRt>,
+    brt: Vec<Vec<BlockRt>>,
+    sms: Vec<Sm>,
+    resident_warps: u64,
+    /// Grids with blocks still to dispatch, in activation order.
+    admit_queue: Vec<usize>,
+    /// Swapped-out blocks whose children completed, awaiting re-admission.
+    resume_queue: VecDeque<(usize, u32)>,
+    /// Stream id -> (grid ids in launch order, head index).
+    streams: HashMap<SKey, (Vec<usize>, usize)>,
+    stream_of: Vec<SKey>,
+    now: f64,
+    warp_integral: f64,
+    makespan: f64,
+    /// Next time the device-side pending-launch pool is free.
+    launch_pool_free: f64,
+    /// Launches serviced in the overflow (virtualized-pool) regime.
+    overflow_launches: u64,
+}
+
+/// Simulate the timing of a batch of executed grids.
+pub(crate) fn simulate(
+    grids: &[GridTask],
+    device: &DeviceConfig,
+    cost: &CostModel,
+) -> TimingResult {
+    if grids.is_empty() {
+        return TimingResult {
+            makespan: 0.0,
+            achieved_occupancy: 0.0,
+            overflow_launches: 0,
+        };
+    }
+    let mut sim = Sim::new(grids, device, cost);
+    sim.run();
+    let capacity = f64::from(device.num_sms) * f64::from(device.max_warps_per_sm);
+    let occ = if sim.makespan > 0.0 {
+        sim.warp_integral / (sim.makespan * capacity)
+    } else {
+        0.0
+    };
+    TimingResult {
+        makespan: sim.makespan,
+        achieved_occupancy: occ,
+        overflow_launches: sim.overflow_launches,
+    }
+}
+
+impl<'a> Sim<'a> {
+    fn new(grids: &'a [GridTask], device: &'a DeviceConfig, cost: &'a CostModel) -> Self {
+        let mut streams: HashMap<SKey, (Vec<usize>, usize)> = HashMap::new();
+        let mut stream_of = Vec::with_capacity(grids.len());
+        let mut grt = Vec::with_capacity(grids.len());
+        let mut brt = Vec::with_capacity(grids.len());
+        for (g, task) in grids.iter().enumerate() {
+            let key = match task.origin {
+                Origin::Host { stream, .. } => SKey::Host(stream),
+                Origin::Device {
+                    parent,
+                    block,
+                    stream_slot,
+                } => SKey::Dev {
+                    parent,
+                    block,
+                    slot: stream_slot,
+                },
+            };
+            streams.entry(key).or_default().0.push(g);
+            stream_of.push(key);
+            grt.push(GridRt {
+                released: false,
+                started: false,
+                done: false,
+                launch_serviced: matches!(task.origin, Origin::Host { .. }),
+                next_block: 0,
+                blocks_left: task.blocks.len(),
+                children_left: task.children.len(),
+            });
+            brt.push(vec![
+                BlockRt {
+                    state: BState::NotStarted,
+                    seg: 0,
+                    sm: usize::MAX,
+                    unfinished_children: 0,
+                };
+                task.blocks.len()
+            ]);
+        }
+        let sm = Sm {
+            free_blocks: device.max_blocks_per_sm,
+            free_threads: device.max_threads_per_sm,
+            free_warps: device.max_warps_per_sm,
+            free_smem: device.shared_mem_per_sm,
+            free_regs: device.registers_per_sm,
+        };
+        let mut sim = Sim {
+            grids,
+            device,
+            cost,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            grt,
+            brt,
+            sms: vec![sm; device.num_sms as usize],
+            resident_warps: 0,
+            admit_queue: Vec::new(),
+            resume_queue: VecDeque::new(),
+            streams,
+            stream_of,
+            now: 0.0,
+            warp_integral: 0.0,
+            makespan: 0.0,
+            launch_pool_free: 0.0,
+            overflow_launches: 0,
+        };
+        // Host launches serialize on the host thread: the i-th host launch
+        // becomes schedulable after i+1 launch overheads.
+        for (g, task) in grids.iter().enumerate() {
+            if let Origin::Host { seq, .. } = task.origin {
+                let t = f64::from(seq + 1) * cost.host_launch_cycles;
+                sim.push(t, Ev::Release(g));
+            }
+        }
+        sim
+    }
+
+    fn push(&mut self, t: f64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((TimeKey(t), self.seq, ev)));
+    }
+
+    fn run(&mut self) {
+        while let Some(Reverse((TimeKey(t), _, ev))) = self.heap.pop() {
+            debug_assert!(t >= self.now - 1e-9);
+            self.warp_integral += self.resident_warps as f64 * (t - self.now);
+            self.now = t;
+            self.makespan = self.makespan.max(t);
+            match ev {
+                Ev::Release(g) => {
+                    if self.grt[g].launch_serviced {
+                        self.grt[g].released = true;
+                        self.maybe_activate(g);
+                    } else {
+                        // Pending-launch pool: device launches are serviced
+                        // one at a time by the runtime. A backlog beyond the
+                        // fixed pool spills to the slow virtualized pool.
+                        let service = self.cost.device_launch_service_cycles;
+                        let backlog = (self.launch_pool_free - t).max(0.0) / service;
+                        let cost = if backlog > f64::from(self.device.pending_launch_limit) {
+                            self.overflow_launches += 1;
+                            service * self.cost.pool_overflow_factor
+                        } else {
+                            service
+                        };
+                        let done = self.launch_pool_free.max(t) + cost;
+                        self.launch_pool_free = done;
+                        self.grt[g].launch_serviced = true;
+                        self.push(done, Ev::Release(g));
+                    }
+                }
+                Ev::SegDone(g, b) => self.segment_done(g, b),
+            }
+        }
+        debug_assert!(
+            self.grt.iter().all(|g| g.done),
+            "scheduler finished with unfinished grids (deadlock?)"
+        );
+    }
+
+    fn is_stream_head(&self, g: usize) -> bool {
+        let (order, head) = &self.streams[&self.stream_of[g]];
+        *head < order.len() && order[*head] == g
+    }
+
+    fn maybe_activate(&mut self, g: usize) {
+        let rt = &self.grt[g];
+        if rt.started || !rt.released || !self.is_stream_head(g) {
+            return;
+        }
+        self.grt[g].started = true;
+        self.admit_queue.push(g);
+        self.try_admit();
+    }
+
+    fn block_fits(&self, sm: &Sm, g: usize) -> bool {
+        let cfg = &self.grids[g].cfg;
+        let warps = cfg.block_dim.div_ceil(self.device.warp_size);
+        sm.free_blocks >= 1
+            && sm.free_threads >= cfg.block_dim
+            && sm.free_warps >= warps
+            && sm.free_smem >= cfg.shared_mem_bytes
+            && sm.free_regs >= cfg.block_dim * self.device.registers_per_thread
+    }
+
+    /// Pick the SM with the most free warps that fits a block of grid `g`.
+    fn pick_sm(&self, g: usize) -> Option<usize> {
+        let mut best: Option<(u32, usize)> = None;
+        for (i, sm) in self.sms.iter().enumerate() {
+            if self.block_fits(sm, g) {
+                let key = sm.free_warps;
+                if best.is_none_or(|(bw, _)| key > bw) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn occupy(&mut self, sm: usize, g: usize) {
+        let cfg = &self.grids[g].cfg;
+        let warps = cfg.block_dim.div_ceil(self.device.warp_size);
+        let s = &mut self.sms[sm];
+        s.free_blocks -= 1;
+        s.free_threads -= cfg.block_dim;
+        s.free_warps -= warps;
+        s.free_smem -= cfg.shared_mem_bytes;
+        s.free_regs -= cfg.block_dim * self.device.registers_per_thread;
+        self.resident_warps += u64::from(warps);
+    }
+
+    fn vacate(&mut self, sm: usize, g: usize) {
+        let cfg = &self.grids[g].cfg;
+        let warps = cfg.block_dim.div_ceil(self.device.warp_size);
+        let s = &mut self.sms[sm];
+        s.free_blocks += 1;
+        s.free_threads += cfg.block_dim;
+        s.free_warps += warps;
+        s.free_smem += cfg.shared_mem_bytes;
+        s.free_regs += cfg.block_dim * self.device.registers_per_thread;
+        self.resident_warps -= u64::from(warps);
+    }
+
+    fn try_admit(&mut self) {
+        loop {
+            let mut progressed = false;
+            // Swapped-out parents whose children finished resume first.
+            let mut i = 0;
+            while i < self.resume_queue.len() {
+                let (g, b) = self.resume_queue[i];
+                if let Some(sm) = self.pick_sm(g) {
+                    self.resume_queue.remove(i);
+                    self.occupy(sm, g);
+                    self.brt[g][b as usize].sm = sm;
+                    let seg = self.brt[g][b as usize].seg;
+                    self.start_segment(g, b, seg, true);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            // Fresh blocks from active grids, HyperQ-window deep.
+            let mut exhausted: Vec<usize> = Vec::new();
+            for qi in 0..self.admit_queue.len().min(DISPATCH_WINDOW) {
+                let g = self.admit_queue[qi];
+                loop {
+                    if self.grt[g].next_block >= self.grids[g].blocks.len() {
+                        exhausted.push(qi);
+                        break;
+                    }
+                    let Some(sm) = self.pick_sm(g) else { break };
+                    let b = self.grt[g].next_block as u32;
+                    self.grt[g].next_block += 1;
+                    self.occupy(sm, g);
+                    let rt = &mut self.brt[g][b as usize];
+                    rt.state = BState::Running;
+                    rt.sm = sm;
+                    self.start_segment(g, b, 0, false);
+                    progressed = true;
+                }
+            }
+            for &qi in exhausted.iter().rev() {
+                self.admit_queue.remove(qi);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    fn start_segment(&mut self, g: usize, b: u32, seg: usize, resumed: bool) {
+        let block = &self.grids[g].blocks[b as usize];
+        let task = &block.segments[seg];
+        let sm_idx = self.brt[g][b as usize].sm;
+        let resident: u32 = self.device.max_warps_per_sm - self.sms[sm_idx].free_warps;
+        let w = f64::from(block.warps);
+        let rate = (self.device.issue_width() * w / f64::from(resident.max(1))).min(w);
+        let mut dur = task.span.max(task.work / rate);
+        if resumed {
+            dur += self.cost.swap_restore_cycles;
+        }
+        self.brt[g][b as usize].state = BState::Running;
+        self.brt[g][b as usize].seg = seg;
+        let start = self.now;
+        for &(child, offset) in &task.launches {
+            self.brt[g][b as usize].unfinished_children += 1;
+            self.push(
+                start + offset + self.cost.device_launch_latency_cycles,
+                Ev::Release(child as usize),
+            );
+        }
+        self.push(start + dur, Ev::SegDone(g, b));
+    }
+
+    fn segment_done(&mut self, g: usize, b: u32) {
+        let nsegs = self.grids[g].blocks[b as usize].segments.len();
+        let cur = self.brt[g][b as usize].seg;
+        if cur + 1 < nsegs {
+            let next = cur + 1;
+            let must_wait = self.grids[g].blocks[b as usize].segments[next].wait_children
+                && self.brt[g][b as usize].unfinished_children > 0;
+            if must_wait {
+                // Swap the parent block out while it waits for children.
+                let sm = self.brt[g][b as usize].sm;
+                self.vacate(sm, g);
+                let rt = &mut self.brt[g][b as usize];
+                rt.state = BState::Swapped;
+                rt.seg = next;
+                rt.sm = usize::MAX;
+                self.try_admit();
+            } else {
+                self.start_segment(g, b, next, false);
+            }
+        } else {
+            let sm = self.brt[g][b as usize].sm;
+            self.vacate(sm, g);
+            self.brt[g][b as usize].state = BState::Done;
+            self.grt[g].blocks_left -= 1;
+            self.check_grid_done(g);
+            self.try_admit();
+        }
+    }
+
+    fn check_grid_done(&mut self, g: usize) {
+        let rt = &self.grt[g];
+        if rt.done || rt.blocks_left > 0 || rt.children_left > 0 || !rt.started {
+            return;
+        }
+        self.grt[g].done = true;
+        // Advance this grid's stream.
+        let key = self.stream_of[g];
+        let next = {
+            let (order, head) = self.streams.get_mut(&key).expect("stream exists");
+            debug_assert_eq!(order[*head], g);
+            *head += 1;
+            order.get(*head).copied()
+        };
+        if let Some(n) = next {
+            // Host grids carry their serialized driver release from init;
+            // start = max(release, predecessor finish) falls out of the
+            // released/stream-head conjunction.
+            self.maybe_activate(n);
+        }
+        // Notify the parent block and grid.
+        if let Origin::Device { parent, block, .. } = self.grids[g].origin {
+            self.grt[parent].children_left -= 1;
+            let prt = &mut self.brt[parent][block as usize];
+            prt.unfinished_children -= 1;
+            if prt.state == BState::Swapped && prt.unfinished_children == 0 {
+                self.resume_queue.push_back((parent, block));
+                self.try_admit();
+            }
+            self.check_grid_done(parent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockOutcome, SegmentTask};
+    use crate::kernel::LaunchConfig;
+
+    fn seg(span: f64, work: f64) -> SegmentTask {
+        SegmentTask {
+            span,
+            work,
+            wait_children: false,
+            launches: vec![],
+        }
+    }
+
+    fn grid(
+        origin: Origin,
+        cfg: LaunchConfig,
+        blocks: Vec<BlockOutcome>,
+        children: Vec<usize>,
+    ) -> GridTask {
+        GridTask {
+            name: "k".into(),
+            cfg,
+            origin,
+            blocks,
+            children,
+            kernel: None,
+        }
+    }
+
+    fn block(warps: u32, segments: Vec<SegmentTask>) -> BlockOutcome {
+        BlockOutcome { warps, segments }
+    }
+
+    fn host(seq: u32) -> Origin {
+        Origin::Host { seq, stream: 0 }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let r = simulate(&[], &DeviceConfig::tiny(), &CostModel::default());
+        assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn single_block_runs_span() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        let g = grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![block(1, vec![seg(100.0, 100.0)])],
+            vec![],
+        );
+        let r = simulate(&[g], &d, &c);
+        assert!((r.makespan - (c.host_launch_cycles + 100.0)).abs() < 1e-6);
+        assert!(r.achieved_occupancy > 0.0);
+    }
+
+    #[test]
+    fn blocks_beyond_capacity_run_in_waves() {
+        let d = DeviceConfig::tiny(); // 2 SMs x 4 blocks = 8 resident
+        let c = CostModel::default();
+        // 16 identical blocks of 100 span / 100 work: two waves. With 4
+        // resident single-warp blocks per SM and issue width 2, each block
+        // progresses at rate 0.5 -> 200 cycles per wave.
+        let blocks: Vec<BlockOutcome> =
+            (0..16).map(|_| block(1, vec![seg(100.0, 100.0)])).collect();
+        let g = grid(host(0), LaunchConfig::new(16, 32), blocks, vec![]);
+        let r = simulate(&[g], &d, &c);
+        let expect = c.host_launch_cycles + 400.0;
+        assert!(
+            (r.makespan - expect).abs() < 1e-6,
+            "makespan {} != {}",
+            r.makespan,
+            expect
+        );
+    }
+
+    #[test]
+    fn same_stream_grids_serialize() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        let g0 = grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![block(1, vec![seg(50.0, 50.0)])],
+            vec![],
+        );
+        let g1 = grid(
+            host(1),
+            LaunchConfig::new(1, 32),
+            vec![block(1, vec![seg(50.0, 50.0)])],
+            vec![],
+        );
+        let r = simulate(&[g0, g1], &d, &c);
+        // g0 starts after one launch overhead and runs 50 cycles; g1's
+        // driver release lands at two launch overheads, after which it runs.
+        let expect = 2.0 * c.host_launch_cycles + 50.0;
+        assert!(
+            (r.makespan - expect).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn different_host_streams_overlap() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        let mk = |seq, stream| {
+            grid(
+                Origin::Host { seq, stream },
+                LaunchConfig::new(1, 32),
+                vec![block(1, vec![seg(100_000.0, 100_000.0)])],
+                vec![],
+            )
+        };
+        let serial = simulate(&[mk(0, 0), mk(1, 0)], &d, &c).makespan;
+        let overlap = simulate(&[mk(0, 0), mk(1, 1)], &d, &c).makespan;
+        assert!(overlap < serial);
+    }
+
+    #[test]
+    fn child_grid_released_after_parent_launch_point() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        // Parent: one block, launches child at offset 10 in its only segment.
+        let parent = grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![block(
+                1,
+                vec![SegmentTask {
+                    span: 40.0,
+                    work: 40.0,
+                    wait_children: false,
+                    launches: vec![(1, 10.0)],
+                }],
+            )],
+            vec![1],
+        );
+        let child = grid(
+            Origin::Device {
+                parent: 0,
+                block: 0,
+                stream_slot: 0,
+            },
+            LaunchConfig::new(1, 32),
+            vec![block(1, vec![seg(500.0, 500.0)])],
+            vec![],
+        );
+        let r = simulate(&[parent, child], &d, &c);
+        let child_start = c.host_launch_cycles
+            + 10.0
+            + c.device_launch_latency_cycles
+            + c.device_launch_service_cycles;
+        assert!(
+            (r.makespan - (child_start + 500.0)).abs() < 1e-6,
+            "makespan {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn parent_waits_for_children_with_swap() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        let parent = grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![BlockOutcome {
+                warps: 1,
+                segments: vec![
+                    SegmentTask {
+                        span: 20.0,
+                        work: 20.0,
+                        wait_children: false,
+                        launches: vec![(1, 5.0)],
+                    },
+                    SegmentTask {
+                        span: 30.0,
+                        work: 30.0,
+                        wait_children: true,
+                        launches: vec![],
+                    },
+                ],
+            }],
+            vec![1],
+        );
+        let child = grid(
+            Origin::Device {
+                parent: 0,
+                block: 0,
+                stream_slot: 0,
+            },
+            LaunchConfig::new(1, 32),
+            vec![block(1, vec![seg(1000.0, 1000.0)])],
+            vec![],
+        );
+        let r = simulate(&[parent, child], &d, &c);
+        let child_done = c.host_launch_cycles
+            + 5.0
+            + c.device_launch_latency_cycles
+            + c.device_launch_service_cycles
+            + 1000.0;
+        let expect = child_done + c.swap_restore_cycles + 30.0;
+        assert!(
+            (r.makespan - expect).abs() < 1e-6,
+            "makespan {} != {}",
+            r.makespan,
+            expect
+        );
+    }
+
+    #[test]
+    fn device_stream_serializes_children() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        // Parent launches two children into the same device stream slot.
+        let parent = grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![block(
+                1,
+                vec![SegmentTask {
+                    span: 10.0,
+                    work: 10.0,
+                    wait_children: false,
+                    launches: vec![(1, 1.0), (2, 2.0)],
+                }],
+            )],
+            vec![1, 2],
+        );
+        // Children must outlast the launch-pool service gap for stream
+        // overlap to be observable.
+        let mk_child = |slot| {
+            grid(
+                Origin::Device {
+                    parent: 0,
+                    block: 0,
+                    stream_slot: slot,
+                },
+                LaunchConfig::new(1, 32),
+                vec![block(1, vec![seg(50_000.0, 50_000.0)])],
+                vec![],
+            )
+        };
+        let serial = simulate(&[parent.clone_for_test(), mk_child(0), mk_child(0)], &d, &c);
+        let parallel = simulate(&[parent, mk_child(0), mk_child(1)], &d, &c);
+        assert!(parallel.makespan < serial.makespan);
+    }
+
+    impl GridTask {
+        fn clone_for_test(&self) -> GridTask {
+            GridTask {
+                name: self.name.clone(),
+                cfg: self.cfg,
+                origin: self.origin,
+                blocks: self.blocks.clone(),
+                children: self.children.clone(),
+                kernel: None,
+            }
+        }
+    }
+
+    #[test]
+    fn launch_pool_overflow_kicks_in_beyond_the_limit() {
+        let d = DeviceConfig::tiny(); // pending_launch_limit = 64
+        let c = CostModel::default();
+        // One parent block that fires 200 children at the same instant.
+        let n_children = 200u32;
+        let launches: Vec<(u32, f64)> = (1..=n_children).map(|i| (i, 1.0)).collect();
+        let mut grids = vec![grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![BlockOutcome {
+                warps: 1,
+                segments: vec![SegmentTask {
+                    span: 10.0,
+                    work: 10.0,
+                    wait_children: false,
+                    launches,
+                }],
+            }],
+            (1..=n_children as usize).collect(),
+        )];
+        for i in 0..n_children {
+            grids.push(grid(
+                Origin::Device {
+                    parent: 0,
+                    block: 0,
+                    stream_slot: i, // all independent streams
+                },
+                LaunchConfig::new(1, 32),
+                vec![block(1, vec![seg(1.0, 1.0)])],
+                vec![],
+            ));
+        }
+        let r = simulate(&grids, &d, &c);
+        assert!(r.overflow_launches > 0, "backlog beyond 64 must overflow");
+        assert!(r.overflow_launches < u64::from(n_children));
+        // Makespan is dominated by pool service incl. the overflow tail.
+        let fast = 65.0 * c.device_launch_service_cycles;
+        assert!(r.makespan > fast, "makespan {} too small", r.makespan);
+    }
+
+    #[test]
+    fn work_bound_blocks_take_longer_than_span() {
+        let d = DeviceConfig::tiny(); // issue width 2
+        let c = CostModel::default();
+        // 8 warps of 100 cycles each: span 100, work 800. Alone on an SM
+        // the block can issue 2 warp-cycles per cycle -> 400 cycles.
+        let g = grid(
+            host(0),
+            LaunchConfig::new(1, 256),
+            vec![block(8, vec![seg(100.0, 800.0)])],
+            vec![],
+        );
+        let r = simulate(&[g], &d, &c);
+        assert!((r.makespan - (c.host_launch_cycles + 400.0)).abs() < 1e-6);
+    }
+}

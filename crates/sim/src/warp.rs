@@ -1,0 +1,467 @@
+//! Warp lockstep alignment: turns 32 per-lane instruction traces into
+//! issue-group timing, divergence and memory-efficiency metrics.
+//!
+//! The model replays the lanes of a warp position-by-position. At each step
+//! every unfinished lane presents its current op; ops of the same kind issue
+//! together as one warp instruction (with the presenting lanes active),
+//! while ops of *different* kinds at the same position serialize into
+//! separate issue groups — the SIMT re-convergence behaviour that makes
+//! divergent warps slow. Lanes that have finished their (shorter) traces
+//! simply stop presenting, which is exactly how an irregular inner loop
+//! degrades warp execution efficiency in the paper's baseline template.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::memory;
+use crate::profiler::KernelMetrics;
+use crate::trace::{Op, OpGroup, ISSUE_GROUPS};
+
+/// A device-side launch observed during alignment: which grid, and how many
+/// cycles into the segment the launching instruction completed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct LaunchPoint {
+    pub grid: u32,
+    pub offset: f64,
+}
+
+/// Timing outcome of one warp over one barrier segment.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WarpOutcome {
+    /// Execution cycles of the warp (its contribution to block work; the
+    /// maximum over a block's warps is the segment span).
+    pub cycles: f64,
+    /// Device-side launches with their cycle offsets.
+    pub launches: Vec<LaunchPoint>,
+}
+
+/// Reusable scratch buffers for alignment (allocation-free steady state).
+#[derive(Debug, Default)]
+pub(crate) struct AlignScratch {
+    positions: Vec<usize>,
+    step_ops: Vec<Option<Op>>,
+    gaddrs: Vec<(u64, u8)>,
+    aaddrs: Vec<u64>,
+    saddrs: Vec<u32>,
+    lines: Vec<u64>,
+    banks: Vec<u32>,
+}
+
+/// Align one warp's lane traces (1..=warp_size slices, one per lane) over a
+/// single barrier segment, accumulating profiler counters into `metrics`.
+pub(crate) fn align_warp(
+    lanes: &[&[Op]],
+    device: &DeviceConfig,
+    cost: &CostModel,
+    metrics: &mut KernelMetrics,
+    scratch: &mut AlignScratch,
+) -> WarpOutcome {
+    let warp = f64::from(device.warp_size);
+    let n = lanes.len();
+    debug_assert!(n >= 1 && n <= device.warp_size as usize);
+
+    if cost.divergence == crate::cost::DivergenceModel::MaxLane {
+        return max_lane_model(lanes, cost, metrics);
+    }
+
+    scratch.positions.clear();
+    scratch.positions.resize(n, 0);
+    scratch.step_ops.clear();
+    scratch.step_ops.resize(n, None);
+
+    let mut out = WarpOutcome::default();
+    let mut issue_slots = 0.0f64;
+    let mut active_slots = 0.0f64;
+
+    loop {
+        // Snapshot the current op of every unfinished lane.
+        let mut any = false;
+        for (l, lane) in lanes.iter().enumerate() {
+            let pos = scratch.positions[l];
+            scratch.step_ops[l] = if pos < lane.len() {
+                any = true;
+                let op = lane[pos];
+                debug_assert!(
+                    !op.is_delimiter(),
+                    "delimiters must be stripped before alignment"
+                );
+                Some(op)
+            } else {
+                None
+            };
+        }
+        if !any {
+            break;
+        }
+
+        // Issue each populated group in deterministic order.
+        for group in ISSUE_GROUPS {
+            match group {
+                OpGroup::Compute => {
+                    let mut max_n = 0u32;
+                    let mut sum_n = 0u64;
+                    for op in scratch.step_ops.iter().flatten() {
+                        if let Op::Compute(k) = op {
+                            max_n = max_n.max(*k);
+                            sum_n += u64::from(*k);
+                        }
+                    }
+                    if max_n > 0 {
+                        out.cycles += f64::from(max_n) * cost.alu_cycles;
+                        issue_slots += warp * f64::from(max_n);
+                        active_slots += sum_n as f64;
+                    }
+                }
+                OpGroup::GlobalRead | OpGroup::GlobalWrite => {
+                    scratch.gaddrs.clear();
+                    for op in scratch.step_ops.iter().flatten() {
+                        match (group, op) {
+                            (OpGroup::GlobalRead, Op::GlobalRead { addr, size })
+                            | (OpGroup::GlobalWrite, Op::GlobalWrite { addr, size }) => {
+                                scratch.gaddrs.push((*addr, *size));
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !scratch.gaddrs.is_empty() {
+                        let c = memory::coalesce(
+                            &scratch.gaddrs,
+                            device.mem_transaction_bytes,
+                            &mut scratch.lines,
+                        );
+                        out.cycles += cost.mem_base_cycles
+                            + c.transactions as f64 * cost.mem_transaction_cycles;
+                        issue_slots += warp;
+                        active_slots += scratch.gaddrs.len() as f64;
+                        if group == OpGroup::GlobalRead {
+                            metrics.gld_requested_bytes += c.requested_bytes;
+                            metrics.gld_transactions += c.transactions;
+                        } else {
+                            metrics.gst_requested_bytes += c.requested_bytes;
+                            metrics.gst_transactions += c.transactions;
+                        }
+                    }
+                }
+                OpGroup::SharedRead | OpGroup::SharedWrite => {
+                    scratch.saddrs.clear();
+                    for op in scratch.step_ops.iter().flatten() {
+                        match (group, op) {
+                            (OpGroup::SharedRead, Op::SharedRead { addr })
+                            | (OpGroup::SharedWrite, Op::SharedWrite { addr }) => {
+                                scratch.saddrs.push(*addr);
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !scratch.saddrs.is_empty() {
+                        let replays = memory::bank_replays(
+                            &scratch.saddrs,
+                            device.shared_banks,
+                            &mut scratch.banks,
+                        );
+                        out.cycles += cost.shared_cycles * replays as f64;
+                        issue_slots += warp;
+                        active_slots += scratch.saddrs.len() as f64;
+                        metrics.shared_accesses += scratch.saddrs.len() as u64;
+                        metrics.shared_replays += replays;
+                    }
+                }
+                OpGroup::AtomicGlobal => {
+                    scratch.aaddrs.clear();
+                    for op in scratch.step_ops.iter().flatten() {
+                        if let Op::AtomicGlobal { addr } = op {
+                            scratch.aaddrs.push(*addr);
+                        }
+                    }
+                    if !scratch.aaddrs.is_empty() {
+                        let count = scratch.aaddrs.len();
+                        // Transactions for the distinct addresses touched.
+                        scratch.gaddrs.clear();
+                        scratch
+                            .gaddrs
+                            .extend(scratch.aaddrs.iter().map(|&a| (a, 4u8)));
+                        let c = memory::coalesce(
+                            &scratch.gaddrs,
+                            device.mem_transaction_bytes,
+                            &mut scratch.lines,
+                        );
+                        let conflicts = memory::max_multiplicity(&mut scratch.aaddrs);
+                        out.cycles += cost.atomic_base_cycles
+                            + (conflicts.saturating_sub(1)) as f64 * cost.atomic_conflict_cycles
+                            + c.transactions as f64 * cost.mem_transaction_cycles;
+                        issue_slots += warp;
+                        active_slots += count as f64;
+                        metrics.atomics_global += count as u64;
+                    }
+                }
+                OpGroup::AtomicShared => {
+                    scratch.aaddrs.clear();
+                    for op in scratch.step_ops.iter().flatten() {
+                        if let Op::AtomicShared { addr } = op {
+                            scratch.aaddrs.push(u64::from(*addr));
+                        }
+                    }
+                    if !scratch.aaddrs.is_empty() {
+                        let count = scratch.aaddrs.len();
+                        let conflicts = memory::max_multiplicity(&mut scratch.aaddrs);
+                        out.cycles += cost.shared_cycles
+                            + (conflicts.saturating_sub(1)) as f64
+                                * cost.atomic_shared_conflict_cycles;
+                        issue_slots += warp;
+                        active_slots += count as f64;
+                        metrics.atomics_shared += count as u64;
+                    }
+                }
+                OpGroup::Launch => {
+                    // Device-side launches serialize lane by lane.
+                    for op in scratch.step_ops.iter().flatten() {
+                        if let Op::Launch { grid } = op {
+                            out.cycles += cost.device_launch_issue_cycles;
+                            issue_slots += warp;
+                            active_slots += 1.0;
+                            metrics.device_launches += 1;
+                            out.launches.push(LaunchPoint {
+                                grid: *grid,
+                                offset: out.cycles,
+                            });
+                        }
+                    }
+                }
+                OpGroup::Delimiter => unreachable!(),
+            }
+        }
+
+        for l in 0..n {
+            if scratch.step_ops[l].is_some() {
+                scratch.positions[l] += 1;
+            }
+        }
+    }
+
+    metrics.issue_slots += issue_slots;
+    metrics.active_slots += active_slots;
+    metrics.work_cycles += out.cycles;
+    out
+}
+
+/// The [`crate::cost::DivergenceModel::MaxLane`] ablation: every lane is
+/// costed as if it owned the warp (each access one transaction, no
+/// divergence serialization, no conflicts); the warp takes as long as its
+/// slowest lane and reports full efficiency. Launch offsets come from the
+/// launching lane's own running cost.
+fn max_lane_model(lanes: &[&[Op]], cost: &CostModel, metrics: &mut KernelMetrics) -> WarpOutcome {
+    let mut out = WarpOutcome::default();
+    let mut max_cycles = 0.0f64;
+    let mut total_ops = 0u64;
+    for lane in lanes {
+        let mut c = 0.0f64;
+        for op in lane.iter() {
+            debug_assert!(!op.is_delimiter());
+            total_ops += 1;
+            match *op {
+                Op::Compute(k) => c += f64::from(k) * cost.alu_cycles,
+                Op::GlobalRead { size, .. } => {
+                    c += cost.mem_base_cycles + cost.mem_transaction_cycles;
+                    metrics.gld_requested_bytes += u64::from(size);
+                    metrics.gld_transactions += 1;
+                }
+                Op::GlobalWrite { size, .. } => {
+                    c += cost.mem_base_cycles + cost.mem_transaction_cycles;
+                    metrics.gst_requested_bytes += u64::from(size);
+                    metrics.gst_transactions += 1;
+                }
+                Op::SharedRead { .. } | Op::SharedWrite { .. } => {
+                    c += cost.shared_cycles;
+                    metrics.shared_accesses += 1;
+                }
+                Op::AtomicGlobal { .. } => {
+                    c += cost.atomic_base_cycles + cost.mem_transaction_cycles;
+                    metrics.atomics_global += 1;
+                }
+                Op::AtomicShared { .. } => {
+                    c += cost.shared_cycles;
+                    metrics.atomics_shared += 1;
+                }
+                Op::Launch { grid } => {
+                    c += cost.device_launch_issue_cycles;
+                    metrics.device_launches += 1;
+                    out.launches.push(LaunchPoint { grid, offset: c });
+                }
+                Op::Sync | Op::SyncChildren => unreachable!(),
+            }
+        }
+        max_cycles = max_cycles.max(c);
+    }
+    out.cycles = max_cycles;
+    // No divergence by construction: report full efficiency.
+    metrics.issue_slots += total_ops as f64;
+    metrics.active_slots += total_ops as f64;
+    metrics.work_cycles += out.cycles;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(lanes: &[Vec<Op>]) -> (WarpOutcome, KernelMetrics) {
+        let device = DeviceConfig::kepler_k20();
+        let cost = CostModel::default();
+        let mut metrics = KernelMetrics::default();
+        let mut scratch = AlignScratch::default();
+        let refs: Vec<&[Op]> = lanes.iter().map(|v| v.as_slice()).collect();
+        let out = align_warp(&refs, &device, &cost, &mut metrics, &mut scratch);
+        (out, metrics)
+    }
+
+    #[test]
+    fn uniform_compute_full_efficiency() {
+        let lanes: Vec<Vec<Op>> = (0..32).map(|_| vec![Op::Compute(4)]).collect();
+        let (out, m) = run(&lanes);
+        assert!((m.warp_execution_efficiency() - 1.0).abs() < 1e-12);
+        assert!((out.cycles - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variable_trip_counts_degrade_efficiency() {
+        // Lane i executes i+1 compute steps: classic irregular inner loop.
+        let lanes: Vec<Vec<Op>> = (0..32)
+            .map(|i| (0..=i).map(|_| Op::Compute(1)).collect())
+            .collect();
+        let (out, m) = run(&lanes);
+        // 32 steps, sum of active lanes = 32+31+..+1 = 528.
+        assert!((out.cycles - 32.0).abs() < 1e-12);
+        let expected = 528.0 / (32.0 * 32.0);
+        assert!((m.warp_execution_efficiency() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_load_metrics() {
+        let lanes: Vec<Vec<Op>> = (0..32u64)
+            .map(|i| {
+                vec![Op::GlobalRead {
+                    addr: i * 4,
+                    size: 4,
+                }]
+            })
+            .collect();
+        let (_, m) = run(&lanes);
+        assert_eq!(m.gld_transactions, 1);
+        assert_eq!(m.gld_requested_bytes, 128);
+        assert!((m.gld_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scattered_store_metrics() {
+        let lanes: Vec<Vec<Op>> = (0..32u64)
+            .map(|i| {
+                vec![Op::GlobalWrite {
+                    addr: i * 4096,
+                    size: 4,
+                }]
+            })
+            .collect();
+        let (_, m) = run(&lanes);
+        assert_eq!(m.gst_transactions, 32);
+        assert!((m.gst_efficiency() - 0.03125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergent_kinds_serialize() {
+        // Half the lanes load, half compute: two issue groups in one step.
+        let lanes: Vec<Vec<Op>> = (0..32u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![Op::Compute(1)]
+                } else {
+                    vec![Op::GlobalRead {
+                        addr: i * 4,
+                        size: 4,
+                    }]
+                }
+            })
+            .collect();
+        let (out, m) = run(&lanes);
+        let cost = CostModel::default();
+        // The 16 loads at addrs 4..124 share one 128-byte line.
+        let expected = cost.alu_cycles + cost.mem_base_cycles + cost.mem_transaction_cycles;
+        assert!(
+            (out.cycles - expected).abs() < 1e-9,
+            "cycles {}",
+            out.cycles
+        );
+        // 2 issued instructions, 16 active lanes each.
+        assert!((m.warp_execution_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_address_atomics_serialize() {
+        let same: Vec<Vec<Op>> = (0..32)
+            .map(|_| vec![Op::AtomicGlobal { addr: 64 }])
+            .collect();
+        let (out_same, m_same) = run(&same);
+        let distinct: Vec<Vec<Op>> = (0..32u64)
+            .map(|i| vec![Op::AtomicGlobal { addr: i * 4096 }])
+            .collect();
+        let (out_distinct, m_distinct) = run(&distinct);
+        assert_eq!(m_same.atomics_global, 32);
+        assert_eq!(m_distinct.atomics_global, 32);
+        // Conflicting atomics cost more serialization than scattered ones
+        // (scattered pay transactions, conflicting pay replays; replays are
+        // the dominant term by construction of the cost model).
+        let cost = CostModel::default();
+        assert!(
+            (out_same.cycles
+                - (cost.atomic_base_cycles
+                    + 31.0 * cost.atomic_conflict_cycles
+                    + cost.mem_transaction_cycles))
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (out_distinct.cycles - (cost.atomic_base_cycles + 32.0 * cost.mem_transaction_cycles))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn launches_serialize_and_record_offsets() {
+        let mut lanes: Vec<Vec<Op>> = (0..32).map(|_| vec![]).collect();
+        lanes[3] = vec![Op::Launch { grid: 7 }];
+        lanes[9] = vec![Op::Launch { grid: 8 }];
+        let (out, m) = run(&lanes);
+        assert_eq!(m.device_launches, 2);
+        assert_eq!(out.launches.len(), 2);
+        assert_eq!(out.launches[0].grid, 7);
+        assert_eq!(out.launches[1].grid, 8);
+        assert!(out.launches[0].offset < out.launches[1].offset);
+        let cost = CostModel::default();
+        assert!((out.cycles - 2.0 * cost.device_launch_issue_cycles).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_warp_counts_against_full_width() {
+        let lanes: Vec<Vec<Op>> = (0..8).map(|_| vec![Op::Compute(1)]).collect();
+        let (_, m) = run(&lanes);
+        assert!((m.warp_execution_efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_lanes_cost_nothing() {
+        let lanes: Vec<Vec<Op>> = (0..32).map(|_| vec![]).collect();
+        let (out, m) = run(&lanes);
+        assert_eq!(out.cycles, 0.0);
+        assert_eq!(m.issue_slots, 0.0);
+    }
+
+    #[test]
+    fn shared_bank_conflicts_cost_replays() {
+        let conflict: Vec<Vec<Op>> = (0..32u32)
+            .map(|i| vec![Op::SharedRead { addr: i * 128 }])
+            .collect();
+        let (out, m) = run(&conflict);
+        let cost = CostModel::default();
+        assert_eq!(m.shared_replays, 32);
+        assert!((out.cycles - 32.0 * cost.shared_cycles).abs() < 1e-9);
+    }
+}

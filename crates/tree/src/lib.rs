@@ -1,0 +1,323 @@
+//! # npar-tree — synthetic trees for the recursive-template experiments
+//!
+//! The paper evaluates Tree Descendants and Tree Heights on synthetic trees
+//! shaped by three parameters (Section III.C):
+//!
+//! * **depth** — number of levels (the paper uses 4 and reports depth has no
+//!   significant performance effect);
+//! * **outdegree** — every node *with* children has exactly this many;
+//! * **sparsity** — a non-leaf candidate actually has children with
+//!   probability ρ = (½)^sparsity, so sparsity 0 yields a perfectly regular
+//!   tree and larger values increasingly irregular ones.
+//!
+//! Nodes are numbered in level order (breadth-first), which is the layout
+//! the flat (iterative) kernels index.
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Sentinel parent id of the root.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A rooted tree in level order: parent array plus a children CSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    parent: Vec<u32>,
+    child_offsets: Vec<u32>,
+    children: Vec<u32>,
+    level: Vec<u16>,
+    level_ranges: Vec<(u32, u32)>,
+}
+
+/// Generation parameters (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeGen {
+    /// Number of levels (>= 1). A depth-1 tree is a single root.
+    pub depth: u32,
+    /// Children per internal node.
+    pub outdegree: u32,
+    /// Irregularity exponent: ρ = (½)^sparsity.
+    pub sparsity: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TreeGen {
+    /// Probability that a non-leaf-level node has children.
+    pub fn rho(&self) -> f64 {
+        0.5f64.powi(self.sparsity as i32)
+    }
+
+    /// Generate the tree.
+    pub fn generate(&self) -> Tree {
+        assert!(self.depth >= 1, "depth must be >= 1");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let rho = self.rho();
+
+        let mut parent: Vec<u32> = vec![NO_PARENT];
+        let mut level: Vec<u16> = vec![0];
+        let mut level_ranges: Vec<(u32, u32)> = vec![(0, 1)];
+        let mut frontier: Vec<u32> = vec![0];
+
+        for lvl in 1..self.depth {
+            let mut next = Vec::new();
+            for &node in &frontier {
+                // The root always has children (the published kernel-call
+                // counts for sparse trees are only consistent with the
+                // sparsity coin applying from level 1 down); other
+                // internal-level nodes spawn with probability rho.
+                let spawn = node == 0 || self.sparsity == 0 || rng.gen_range(0.0..1.0) < rho;
+                if spawn && self.outdegree > 0 {
+                    for _ in 0..self.outdegree {
+                        let id = parent.len() as u32;
+                        parent.push(node);
+                        level.push(lvl as u16);
+                        next.push(id);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            let start = parent.len() as u32 - next.len() as u32;
+            level_ranges.push((start, parent.len() as u32));
+            frontier = next;
+        }
+
+        // Children CSR from the parent array (level order keeps each node's
+        // children contiguous and sorted).
+        let n = parent.len();
+        let mut degree = vec![0u32; n];
+        for &p in &parent {
+            if p != NO_PARENT {
+                degree[p as usize] += 1;
+            }
+        }
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        child_offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            child_offsets.push(acc);
+        }
+        let mut children = vec![0u32; n - 1];
+        let mut cursor: Vec<u32> = child_offsets[..n].to_vec();
+        for (v, &p) in parent.iter().enumerate() {
+            if p != NO_PARENT {
+                children[cursor[p as usize] as usize] = v as u32;
+                cursor[p as usize] += 1;
+            }
+        }
+
+        Tree {
+            parent,
+            child_offsets,
+            children,
+            level,
+            level_ranges,
+        }
+    }
+}
+
+impl Tree {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` ([`NO_PARENT`] for the root).
+    pub fn parent(&self, v: usize) -> u32 {
+        self.parent[v]
+    }
+
+    /// The raw parent array.
+    pub fn parents_raw(&self) -> &[u32] {
+        &self.parent
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: usize) -> &[u32] {
+        let a = self.child_offsets[v] as usize;
+        let b = self.child_offsets[v + 1] as usize;
+        &self.children[a..b]
+    }
+
+    /// The raw children CSR offsets (length `n + 1`).
+    pub fn child_offsets_raw(&self) -> &[u32] {
+        &self.child_offsets
+    }
+
+    /// The raw children array.
+    pub fn children_raw(&self) -> &[u32] {
+        &self.children
+    }
+
+    /// Number of children of `v`.
+    pub fn num_children(&self, v: usize) -> usize {
+        (self.child_offsets[v + 1] - self.child_offsets[v]) as usize
+    }
+
+    /// Level (depth) of `v`; the root is level 0.
+    pub fn level(&self, v: usize) -> u16 {
+        self.level[v]
+    }
+
+    /// Number of levels actually present.
+    pub fn num_levels(&self) -> usize {
+        self.level_ranges.len()
+    }
+
+    /// The contiguous id range `[start, end)` of nodes on `lvl`.
+    pub fn level_range(&self, lvl: usize) -> (u32, u32) {
+        self.level_ranges[lvl]
+    }
+
+    /// Nodes with no children.
+    pub fn num_leaves(&self) -> usize {
+        (0..self.num_nodes())
+            .filter(|&v| self.num_children(v) == 0)
+            .count()
+    }
+
+    /// Structural consistency check (used by property tests).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_nodes();
+        if n == 0 {
+            return Err("tree must have a root".into());
+        }
+        if self.parent[0] != NO_PARENT {
+            return Err("node 0 must be the root".into());
+        }
+        for v in 1..n {
+            let p = self.parent[v] as usize;
+            if p >= n {
+                return Err(format!("node {v} has out-of-range parent"));
+            }
+            if self.level[v] != self.level[p] + 1 {
+                return Err(format!("node {v} level inconsistent with parent"));
+            }
+            if !self.children(p).contains(&(v as u32)) {
+                return Err(format!("child CSR misses edge {p} -> {v}"));
+            }
+        }
+        let total_children: usize = (0..n).map(|v| self.num_children(v)).sum();
+        if total_children != n - 1 {
+            return Err("children CSR does not cover n - 1 edges".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_tree_shape() {
+        let t = TreeGen {
+            depth: 4,
+            outdegree: 3,
+            sparsity: 0,
+            seed: 1,
+        }
+        .generate();
+        // 1 + 3 + 9 + 27.
+        assert_eq!(t.num_nodes(), 40);
+        assert_eq!(t.num_levels(), 4);
+        assert_eq!(t.num_leaves(), 27);
+        assert_eq!(t.level_range(3), (13, 40));
+        assert_eq!(t.children(0), &[1, 2, 3]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn depth_one_is_single_root() {
+        let t = TreeGen {
+            depth: 1,
+            outdegree: 5,
+            sparsity: 0,
+            seed: 1,
+        }
+        .generate();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.parent(0), NO_PARENT);
+    }
+
+    #[test]
+    fn sparsity_shrinks_trees() {
+        let full = TreeGen {
+            depth: 4,
+            outdegree: 8,
+            sparsity: 0,
+            seed: 2,
+        }
+        .generate();
+        let sparse = TreeGen {
+            depth: 4,
+            outdegree: 8,
+            sparsity: 2,
+            seed: 2,
+        }
+        .generate();
+        assert!(sparse.num_nodes() < full.num_nodes());
+        sparse.validate().unwrap();
+    }
+
+    #[test]
+    fn rho_formula() {
+        let g = |s| TreeGen {
+            depth: 2,
+            outdegree: 2,
+            sparsity: s,
+            seed: 0,
+        };
+        assert!((g(0).rho() - 1.0).abs() < 1e-12);
+        assert!((g(1).rho() - 0.5).abs() < 1e-12);
+        assert!((g(4).rho() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TreeGen {
+            depth: 5,
+            outdegree: 4,
+            sparsity: 1,
+            seed: 77,
+        }
+        .generate();
+        let b = TreeGen {
+            depth: 5,
+            outdegree: 4,
+            sparsity: 1,
+            seed: 77,
+        }
+        .generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn levels_are_contiguous_and_ordered() {
+        let t = TreeGen {
+            depth: 5,
+            outdegree: 3,
+            sparsity: 1,
+            seed: 9,
+        }
+        .generate();
+        t.validate().unwrap();
+        let mut covered = 0u32;
+        for lvl in 0..t.num_levels() {
+            let (a, b) = t.level_range(lvl);
+            assert_eq!(a, covered);
+            for v in a..b {
+                assert_eq!(t.level(v as usize) as usize, lvl);
+            }
+            covered = b;
+        }
+        assert_eq!(covered as usize, t.num_nodes());
+    }
+}

@@ -1,0 +1,84 @@
+//! Graph analytics on a scale-free network: run SSSP and PageRank under
+//! every template and compare against the serial CPU references — the
+//! workflow of the paper's Section III.B, at example scale.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics
+//! ```
+
+use npar::apps::{pagerank, sssp};
+use npar::core::{LoopParams, LoopTemplate};
+use npar::graph::{citeseer_like, with_random_weights, DegreeStats};
+use npar::sim::{CostModel, CpuConfig, Gpu};
+
+fn main() {
+    let g = with_random_weights(&citeseer_like(8_000, 7), 10, 8);
+    println!("graph: {}", DegreeStats::of(&g));
+
+    let cost = CostModel::default();
+    let cpu = CpuConfig::xeon_e5_2620();
+
+    // --- SSSP ---
+    let (dist, counter) = sssp::sssp_cpu(&g, 0);
+    let cpu_s = counter.seconds(&cost.cpu, &cpu);
+    let reached = dist.iter().filter(|d| d.is_finite()).count();
+    println!(
+        "\nSSSP from node 0: {reached} reachable nodes; serial CPU {:.3} ms",
+        cpu_s * 1e3
+    );
+    println!(
+        "{:<16} {:>12} {:>14} {:>10}",
+        "template", "gpu time", "vs serial CPU", "warp_eff"
+    );
+    for template in LoopTemplate::ALL {
+        let mut gpu = Gpu::k20();
+        let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::default());
+        assert_eq!(
+            r.dist.iter().filter(|d| d.is_finite()).count(),
+            reached,
+            "template changed reachability!"
+        );
+        println!(
+            "{:<16} {:>9.3} ms {:>13.2}x {:>9.1}%",
+            template.to_string(),
+            r.report.seconds * 1e3,
+            cpu_s / r.report.seconds,
+            r.report.warp_execution_efficiency() * 100.0,
+        );
+    }
+
+    // --- PageRank ---
+    let iterations = 5;
+    let (ranks, counter) = pagerank::pagerank_cpu(&g, iterations);
+    let cpu_s = counter.seconds(&cost.cpu, &cpu);
+    let top = ranks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap();
+    println!(
+        "\nPageRank ({iterations} iters): top node {top}; serial CPU {:.3} ms",
+        cpu_s * 1e3
+    );
+    println!(
+        "{:<16} {:>12} {:>14}",
+        "template", "gpu time", "vs serial CPU"
+    );
+    for template in [
+        LoopTemplate::ThreadMapped,
+        LoopTemplate::DualQueue,
+        LoopTemplate::DbufShared,
+        LoopTemplate::DbufGlobal,
+        LoopTemplate::DparOpt,
+    ] {
+        let mut gpu = Gpu::k20();
+        let r = pagerank::pagerank_gpu(&mut gpu, &g, iterations, template, &LoopParams::default());
+        println!(
+            "{:<16} {:>9.3} ms {:>13.2}x",
+            template.to_string(),
+            r.report.seconds * 1e3,
+            cpu_s / r.report.seconds,
+        );
+    }
+}

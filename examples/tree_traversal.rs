@@ -1,0 +1,53 @@
+//! Recursive tree traversal: compute descendants and heights with the
+//! flat, naive-recursive and hierarchical-recursive templates and watch
+//! the atomics-vs-launches trade-off of the paper's Section III.C.
+//!
+//! ```sh
+//! cargo run --release --example tree_traversal
+//! ```
+
+use npar::apps::tree_apps::{tree_cpu_recursive, tree_gpu, TreeMetric};
+use npar::core::{RecParams, RecTemplate};
+use npar::sim::{CostModel, CpuConfig, Gpu};
+use npar::tree::TreeGen;
+
+fn main() {
+    for (outdegree, sparsity) in [(64u32, 0u32), (256, 0), (256, 2)] {
+        let tree = TreeGen {
+            depth: 4,
+            outdegree,
+            sparsity,
+            seed: 42,
+        }
+        .generate();
+        println!(
+            "\ntree: depth 4, outdegree {outdegree}, sparsity {sparsity} -> {} nodes, {} leaves",
+            tree.num_nodes(),
+            tree.num_leaves()
+        );
+        for metric in [TreeMetric::Descendants, TreeMetric::Heights] {
+            let (cpu_vals, counter) = tree_cpu_recursive(&tree, metric);
+            let cpu_s = counter.seconds(&CostModel::default().cpu, &CpuConfig::xeon_e5_2620());
+            println!(
+                "  {} (root = {}), serial CPU {:.3} ms",
+                metric.label(),
+                cpu_vals[0],
+                cpu_s * 1e3
+            );
+            for template in RecTemplate::ALL {
+                let mut gpu = Gpu::k20();
+                let r = tree_gpu(&mut gpu, &tree, metric, template, &RecParams::default());
+                assert_eq!(r.values, cpu_vals);
+                let m = r.report.total();
+                println!(
+                    "    {:<10} {:>9.3} ms ({:>7.2}x) atomics {:>9} nested launches {:>7}",
+                    template.to_string(),
+                    r.report.seconds * 1e3,
+                    cpu_s / r.report.seconds,
+                    m.atomics(),
+                    r.report.device_launches,
+                );
+            }
+        }
+    }
+}

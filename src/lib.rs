@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the npar workspace: a reproduction of
+//! "Nested Parallelism on GPU" (Li, Wu, Becchi — ICPP 2015) on a SIMT
+//! GPU simulator written in pure Rust.
+//!
+//! See the individual crates for detail:
+//! * [`sim`] — the GPU simulator substrate,
+//! * [`graph`] / [`tree`] — input data structures and generators,
+//! * [`core`] — the parallelization templates (the paper's contribution),
+//! * [`apps`] — the seven benchmark applications plus the sort study.
+pub use npar_apps as apps;
+pub use npar_core as core;
+pub use npar_graph as graph;
+pub use npar_sim as sim;
+pub use npar_tree as tree;

@@ -1,0 +1,231 @@
+//! Property-based tests over the core invariants:
+//! * every loop template computes the serial result, for arbitrary
+//!   irregular shapes and thresholds;
+//! * every recursive template matches the serial tree reduction on
+//!   arbitrary tree shapes;
+//! * CSR construction and reversal are structure-preserving;
+//! * sorts sort, whatever the input;
+//! * profiler metrics stay within their physical bounds.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use npar::core::{
+    run_loop, run_recursive, IrregularLoop, LoopParams, LoopTemplate, RecParams, RecTemplate,
+};
+use npar::graph::Csr;
+use npar::sim::{GBuf, Gpu, ThreadCtx};
+use npar::tree::TreeGen;
+use proptest::prelude::*;
+
+/// An arbitrary irregular loop whose body XOR-mixes (i, j) into out[i] —
+/// order-independent, so any correct template reproduces it exactly; the
+/// outer_end transform is non-commutative to catch once-and-after-bodies
+/// violations.
+struct MixLoop {
+    sizes: Vec<usize>,
+    out: RefCell<Vec<u64>>,
+    buf: GBuf<u64>,
+}
+
+impl IrregularLoop for MixLoop {
+    fn name(&self) -> &str {
+        "prop-mix"
+    }
+    fn outer_len(&self) -> usize {
+        self.sizes.len()
+    }
+    fn inner_len(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+    fn body(&self, t: &mut ThreadCtx<'_, '_>, i: usize, j: usize) {
+        self.out.borrow_mut()[i] ^= 0x9e37_79b9_7f4a_7c15u64
+            .wrapping_mul(i as u64 + 1)
+            .wrapping_add(j as u64);
+        t.ld(&self.buf, i.min(self.buf.len() - 1));
+        t.compute(1);
+    }
+    fn outer_end(&self, t: &mut ThreadCtx<'_, '_>, i: usize) {
+        let mut o = self.out.borrow_mut();
+        o[i] = o[i].rotate_left(7) ^ 0xabcd;
+        t.st(&self.buf, i.min(self.buf.len() - 1));
+    }
+    fn has_reduction(&self) -> bool {
+        true
+    }
+    fn combine_atomic(&self, t: &mut ThreadCtx<'_, '_>, i: usize) {
+        t.atomic(&self.buf, i.min(self.buf.len() - 1));
+    }
+}
+
+fn serial_mix(sizes: &[usize]) -> Vec<u64> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            let mut v = 0u64;
+            for j in 0..f {
+                v ^= 0x9e37_79b9_7f4a_7c15u64
+                    .wrapping_mul(i as u64 + 1)
+                    .wrapping_add(j as u64);
+            }
+            v.rotate_left(7) ^ 0xabcd
+        })
+        .collect()
+}
+
+fn template_strategy() -> impl Strategy<Value = LoopTemplate> {
+    prop::sample::select(LoopTemplate::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_loop_template_matches_serial(
+        sizes in prop::collection::vec(0usize..120, 1..80),
+        template in template_strategy(),
+        lb in 0usize..200,
+    ) {
+        let mut gpu = Gpu::k20();
+        let app = Rc::new(MixLoop {
+            out: RefCell::new(vec![0; sizes.len()]),
+            buf: gpu.alloc::<u64>(sizes.len().max(1)),
+            sizes: sizes.clone(),
+        });
+        let report = run_loop(&mut gpu, app.clone(), template, &LoopParams::with_lb_thres(lb));
+        prop_assert_eq!(&*app.out.borrow(), &serial_mix(&sizes));
+        let m = report.total();
+        prop_assert!(m.warp_execution_efficiency() <= 1.0 + 1e-9);
+        // Broadcast reads can push gld efficiency above 100% (one
+        // transaction serves every lane), like nvprof's metric; the warp
+        // width bounds it.
+        prop_assert!(m.gld_efficiency() <= 32.0 + 1e-9);
+        prop_assert!(m.gld_efficiency() > 0.0);
+        prop_assert!(report.achieved_occupancy <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn any_tree_template_matches_serial(
+        depth in 1u32..6,
+        outdegree in 1u32..12,
+        sparsity in 0u32..4,
+        seed in 0u64..1000,
+        template in prop::sample::select(RecTemplate::ALL.to_vec()),
+    ) {
+        let tree = TreeGen { depth, outdegree, sparsity, seed }.generate();
+        let n = tree.num_nodes();
+        // Serial descendants.
+        let mut expect = vec![1u64; n];
+        for v in (1..n).rev() {
+            let p = tree.parent(v) as usize;
+            expect[p] += expect[v];
+        }
+        let mut gpu = Gpu::k20();
+        let app = Rc::new(PropDesc {
+            vals: RefCell::new(vec![1; n]),
+            values: gpu.alloc::<u64>(n),
+            parents: gpu.alloc::<u32>(n),
+            offsets: gpu.alloc::<u32>(n + 1),
+            children: gpu.alloc::<u32>(n.saturating_sub(1).max(1)),
+            tree,
+        });
+        run_recursive(&mut gpu, app.clone(), template, &RecParams::default());
+        prop_assert_eq!(&*app.vals.borrow(), &expect);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_edges(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..400),
+    ) {
+        let g = Csr::from_edges(50, &edges);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.num_edges(), edges.len());
+        // Degree sums match.
+        let total: usize = (0..50).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, edges.len());
+        // Reversal preserves the edge multiset.
+        let r = g.reverse();
+        prop_assert_eq!(r.num_edges(), edges.len());
+        let mut fwd: Vec<(u32, u32)> = edges.clone();
+        let mut back: Vec<(u32, u32)> = (0..50)
+            .flat_map(|v| r.neighbors(v).iter().map(move |&u| (u, v as u32)))
+            .collect();
+        fwd.sort_unstable();
+        back.sort_unstable();
+        prop_assert_eq!(fwd, back);
+    }
+
+    #[test]
+    fn gpu_sorts_sort(
+        mut data in prop::collection::vec(any::<u32>(), 0..600),
+        algo in prop::sample::select(vec![
+            npar::apps::sort::SortAlgo::MergeFlat,
+            npar::apps::sort::SortAlgo::QuickSimple,
+            npar::apps::sort::SortAlgo::QuickAdvanced,
+        ]),
+    ) {
+        let mut gpu = Gpu::k20();
+        let r = npar::apps::sort::sort_gpu(
+            &mut gpu,
+            &data,
+            algo,
+            &npar::apps::sort::SortParams::default(),
+        );
+        data.sort_unstable();
+        prop_assert_eq!(r.data, data);
+    }
+
+    #[test]
+    fn tree_generation_invariants(
+        depth in 1u32..7,
+        outdegree in 0u32..10,
+        sparsity in 0u32..5,
+        seed in 0u64..500,
+    ) {
+        let tree = TreeGen { depth, outdegree, sparsity, seed }.generate();
+        prop_assert!(tree.validate().is_ok());
+        prop_assert!(tree.num_levels() as u32 <= depth.max(1));
+        // Level-order ids: every child id greater than its parent.
+        for v in 1..tree.num_nodes() {
+            prop_assert!((tree.parent(v) as usize) < v);
+        }
+    }
+}
+
+struct PropDesc {
+    tree: npar::tree::Tree,
+    vals: RefCell<Vec<u64>>,
+    values: GBuf<u64>,
+    parents: GBuf<u32>,
+    offsets: GBuf<u32>,
+    children: GBuf<u32>,
+}
+
+impl npar::core::TreeReduce for PropDesc {
+    fn name(&self) -> &str {
+        "prop-desc"
+    }
+    fn tree(&self) -> &npar::tree::Tree {
+        &self.tree
+    }
+    fn values_buf(&self) -> GBuf<u64> {
+        self.values
+    }
+    fn parent_buf(&self) -> GBuf<u32> {
+        self.parents
+    }
+    fn child_offsets_buf(&self) -> GBuf<u32> {
+        self.offsets
+    }
+    fn children_buf(&self) -> GBuf<u32> {
+        self.children
+    }
+    fn combine(&self, parent: usize, child: usize) {
+        let c = self.vals.borrow()[child];
+        self.vals.borrow_mut()[parent] += c;
+    }
+    fn flat_update(&self, _node: usize, ancestor: usize) {
+        self.vals.borrow_mut()[ancestor] += 1;
+    }
+}
