@@ -1,7 +1,8 @@
-//! Criterion benches mirroring the paper's tables and figures at
-//! bench-friendly scale: each group times the simulator running one
-//! experiment point, so `cargo bench` tracks regressions in both the
-//! templates and the simulator itself.
+//! Wall-clock benches mirroring the paper's tables and figures at
+//! bench-friendly scale (`harness = false`, hand-rolled timing — the
+//! offline build environment has no criterion). Each group times the
+//! simulator running one experiment point, so `cargo bench` tracks
+//! regressions in both the templates and the simulator itself.
 //!
 //! * `fig2/...` — the three sort implementations;
 //! * `fig5/...` — SSSP under each loop template;
@@ -10,7 +11,8 @@
 //! * `fig9/...` — recursive BFS variants;
 //! * `table1/...` — the profiling run behind Table I.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use npar_apps::{bfs, pagerank, sort, spmv, sssp, tree_apps};
 use npar_core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
@@ -18,69 +20,82 @@ use npar_graph::{citeseer_like, uniform_random, with_random_weights};
 use npar_sim::Gpu;
 use npar_tree::TreeGen;
 
+const WARMUP: usize = 1;
+const SAMPLES: usize = 5;
+
+/// Time `f` over [`SAMPLES`] iterations (after [`WARMUP`]) and print the
+/// per-iteration median in criterion-like `group/name  time` format.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (value, unit) = if median >= 1.0 {
+        (median, "s")
+    } else if median >= 1e-3 {
+        (median * 1e3, "ms")
+    } else {
+        (median * 1e6, "us")
+    };
+    println!("{group}/{name:<24} {value:>9.3} {unit}");
+}
+
 /// Bench-scale stand-ins (milliseconds per iteration, not minutes).
 fn small_citeseer() -> npar_graph::Csr {
     with_random_weights(&citeseer_like(4_000, 1), 10, 2)
 }
 
-fn bench_fig5_sssp(c: &mut Criterion) {
+fn bench_fig5_sssp() {
     let g = small_citeseer();
-    let mut group = c.benchmark_group("fig5_sssp");
-    group.sample_size(10);
     for template in LoopTemplate::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(template.label()),
-            &template,
-            |b, &template| {
-                b.iter(|| {
-                    let mut gpu = Gpu::k20();
-                    sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
-                })
-            },
-        );
+        bench("fig5_sssp", template.label(), || {
+            let mut gpu = Gpu::k20();
+            black_box(sssp::sssp_gpu(
+                &mut gpu,
+                &g,
+                0,
+                template,
+                &LoopParams::with_lb_thres(32),
+            ));
+        });
     }
-    group.finish();
 }
 
-fn bench_fig6_loops(c: &mut Criterion) {
+fn bench_fig6_loops() {
     let g = small_citeseer();
     let x: Vec<f32> = (0..g.num_nodes()).map(|i| i as f32).collect();
-    let mut group = c.benchmark_group("fig6");
-    group.sample_size(10);
     for lb in [32usize, 256] {
-        group.bench_with_input(BenchmarkId::new("spmv_dbuf_shared", lb), &lb, |b, &lb| {
-            b.iter(|| {
-                let mut gpu = Gpu::k20();
-                spmv::spmv_gpu(
-                    &mut gpu,
-                    &g,
-                    &x,
-                    LoopTemplate::DbufShared,
-                    &LoopParams::with_lb_thres(lb),
-                )
-            })
+        bench("fig6", &format!("spmv_dbuf_shared/{lb}"), || {
+            let mut gpu = Gpu::k20();
+            black_box(spmv::spmv_gpu(
+                &mut gpu,
+                &g,
+                &x,
+                LoopTemplate::DbufShared,
+                &LoopParams::with_lb_thres(lb),
+            ));
         });
-        group.bench_with_input(
-            BenchmarkId::new("pagerank_dbuf_global", lb),
-            &lb,
-            |b, &lb| {
-                b.iter(|| {
-                    let mut gpu = Gpu::k20();
-                    pagerank::pagerank_gpu(
-                        &mut gpu,
-                        &g,
-                        2,
-                        LoopTemplate::DbufGlobal,
-                        &LoopParams::with_lb_thres(lb),
-                    )
-                })
-            },
-        );
+        bench("fig6", &format!("pagerank_dbuf_global/{lb}"), || {
+            let mut gpu = Gpu::k20();
+            black_box(pagerank::pagerank_gpu(
+                &mut gpu,
+                &g,
+                2,
+                LoopTemplate::DbufGlobal,
+                &LoopParams::with_lb_thres(lb),
+            ));
+        });
     }
-    group.finish();
 }
 
-fn bench_fig7_trees(c: &mut Criterion) {
+fn bench_fig7_trees() {
     let tree = TreeGen {
         depth: 4,
         outdegree: 32,
@@ -88,110 +103,85 @@ fn bench_fig7_trees(c: &mut Criterion) {
         seed: 3,
     }
     .generate();
-    let mut group = c.benchmark_group("fig7_tree_descendants");
-    group.sample_size(10);
     for template in RecTemplate::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(template.label()),
-            &template,
-            |b, &template| {
-                b.iter(|| {
-                    let mut gpu = Gpu::k20();
-                    tree_apps::tree_gpu(
-                        &mut gpu,
-                        &tree,
-                        tree_apps::TreeMetric::Descendants,
-                        template,
-                        &RecParams::default(),
-                    )
-                })
-            },
-        );
+        bench("fig7_tree_descendants", template.label(), || {
+            let mut gpu = Gpu::k20();
+            black_box(tree_apps::tree_gpu(
+                &mut gpu,
+                &tree,
+                tree_apps::TreeMetric::Descendants,
+                template,
+                &RecParams::default(),
+            ));
+        });
     }
-    group.finish();
 }
 
-fn bench_fig9_bfs(c: &mut Criterion) {
+fn bench_fig9_bfs() {
     let g = uniform_random(2_000, 1, 32, 5);
-    let mut group = c.benchmark_group("fig9_recursive_bfs");
-    group.sample_size(10);
-    group.bench_function("flat", |b| {
-        b.iter(|| {
-            let mut gpu = Gpu::k20();
-            bfs::bfs_flat_gpu(
-                &mut gpu,
-                &g,
-                0,
-                LoopTemplate::ThreadMapped,
-                &LoopParams::default(),
-            )
-        })
+    bench("fig9_recursive_bfs", "flat", || {
+        let mut gpu = Gpu::k20();
+        black_box(bfs::bfs_flat_gpu(
+            &mut gpu,
+            &g,
+            0,
+            LoopTemplate::ThreadMapped,
+            &LoopParams::default(),
+        ));
     });
     for (label, variant, streams) in [
         ("naive", bfs::RecBfsVariant::Naive, 1u32),
         ("naive+stream", bfs::RecBfsVariant::Naive, 2),
         ("hier", bfs::RecBfsVariant::Hier, 1),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let mut gpu = Gpu::k20();
-                bfs::bfs_recursive_gpu(&mut gpu, &g, 0, variant, streams)
-            })
+        bench("fig9_recursive_bfs", label, || {
+            let mut gpu = Gpu::k20();
+            black_box(bfs::bfs_recursive_gpu(&mut gpu, &g, 0, variant, streams));
         });
     }
-    group.finish();
 }
 
-fn bench_fig2_sorts(c: &mut Criterion) {
+fn bench_fig2_sorts() {
     let data: Vec<u32> = (0..20_000u32).map(|x| x.wrapping_mul(2654435761)).collect();
-    let mut group = c.benchmark_group("fig2_sort");
-    group.sample_size(10);
     for algo in [
         sort::SortAlgo::MergeFlat,
         sort::SortAlgo::QuickSimple,
         sort::SortAlgo::QuickAdvanced,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algo.label()),
-            &algo,
-            |b, &algo| {
-                b.iter(|| {
-                    let mut gpu = Gpu::k20();
-                    sort::sort_gpu(&mut gpu, &data, algo, &sort::SortParams::default())
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_table1_profile(c: &mut Criterion) {
-    let g = small_citeseer();
-    let mut group = c.benchmark_group("table1_profile");
-    group.sample_size(10);
-    group.bench_function("sssp_profiled_baseline", |b| {
-        b.iter(|| {
+        bench("fig2_sort", algo.label(), || {
             let mut gpu = Gpu::k20();
-            let r = sssp::sssp_gpu(
+            black_box(sort::sort_gpu(
                 &mut gpu,
-                &g,
-                0,
-                LoopTemplate::ThreadMapped,
-                &LoopParams::default(),
-            );
-            r.report.total().warp_execution_efficiency()
-        })
-    });
-    group.finish();
+                &data,
+                algo,
+                &sort::SortParams::default(),
+            ));
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_fig5_sssp,
-    bench_fig6_loops,
-    bench_fig7_trees,
-    bench_fig9_bfs,
-    bench_fig2_sorts,
-    bench_table1_profile
-);
-criterion_main!(benches);
+fn bench_table1_profile() {
+    let g = small_citeseer();
+    bench("table1_profile", "sssp_profiled_baseline", || {
+        let mut gpu = Gpu::k20();
+        let r = sssp::sssp_gpu(
+            &mut gpu,
+            &g,
+            0,
+            LoopTemplate::ThreadMapped,
+            &LoopParams::default(),
+        );
+        black_box(r.report.total().warp_execution_efficiency());
+    });
+}
+
+fn main() {
+    npar_bench::runner::with_big_stack(|| {
+        bench_fig5_sssp();
+        bench_fig6_loops();
+        bench_fig7_trees();
+        bench_fig9_bfs();
+        bench_fig2_sorts();
+        bench_table1_profile();
+    });
+}

@@ -26,32 +26,42 @@ where
     I: Send,
     T: Send,
 {
+    use std::sync::Mutex;
+
     let threads = thread::available_parallelism()
         .map_or(4, |n| n.get())
         .min(inputs.len().max(1));
-    let results: Vec<parking_lot::Mutex<Option<T>>> = (0..inputs.len())
-        .map(|_| parking_lot::Mutex::new(None))
-        .collect();
-    let work: crossbeam::queue::SegQueue<(usize, I)> = crossbeam::queue::SegQueue::new();
-    for item in inputs.into_iter().enumerate() {
-        work.push(item);
-    }
+    let results: Vec<Mutex<Option<T>>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let work: Mutex<std::vec::IntoIter<(usize, I)>> = Mutex::new(
+        inputs
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
     thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // Big stacks are configured per spawned thread below; scoped
-                // threads inherit the default, so recursion-heavy work uses
-                // with_big_stack inside `f` when needed.
-                while let Some((idx, input)) = work.pop() {
+                // Scoped threads inherit the default stack, so
+                // recursion-heavy work uses with_big_stack inside `f`
+                // when needed.
+                loop {
+                    let Some((idx, input)) = work.lock().expect("work queue").next() else {
+                        break;
+                    };
                     let out = f(input);
-                    *results[idx].lock() = Some(out);
+                    *results[idx].lock().expect("result slot") = Some(out);
                 }
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `rand_chacha` crate: [`ChaCha8Rng`], a real
+//! ChaCha (8-round) keystream generator seeded via SplitMix64 key
+//! expansion. Deterministic given a seed; value streams are NOT
+//! bit-compatible with crates.io `rand_chacha` (which uses a different
+//! `seed_from_u64` expansion), which is fine — the workspace only relies
+//! on determinism and statistical quality.
+
+#![warn(missing_docs)]
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export module mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+const CHACHA_ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha reduced to 8 rounds (4 column + 4 diagonal passes), the
+/// speed-oriented variant `rand` ships as its small-state RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + constant + counter block template.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next word index within `block` (16 = exhausted).
+    word: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(self.state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        self.block = working;
+        self.word = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])) + 1;
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit key.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..4 {
+            let k = next();
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // counter = 0, nonce = 0.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.word + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.block[self.word];
+        let hi = self.block[self.word + 1];
+        self.word += 2;
+        u64::from(hi) << 32 | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(2015);
+        let mut b = ChaCha8Rng::seed_from_u64(2015);
+        let mut c = ChaCha8Rng::seed_from_u64(2016);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn reasonable_uniformity() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        let frac = f64::from(ones) / 64_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+}

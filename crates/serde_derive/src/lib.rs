@@ -1,0 +1,182 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Hand-rolled token parsing (the environment has no `syn`/`quote`):
+//! supports exactly the shapes this workspace declares — structs with named
+//! fields and enums with unit variants, no generics. Anything else panics
+//! at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Item {
+    /// Struct name + named field identifiers.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(crate)`), then
+/// expect `struct`/`enum` keyword, the item name, and the body group.
+fn parse(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut kind = None;
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => kind = Some(s),
+                    _ if kind.is_some() && name.is_none() => name = Some(s),
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let kind = kind.expect("derive: no struct/enum keyword");
+                let name = name.expect("derive: unnamed item");
+                let names = field_names(g.stream());
+                return if kind == "struct" {
+                    Item::Struct(name, names)
+                } else {
+                    Item::Enum(name, names)
+                };
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive: generics are not supported")
+            }
+            _ => {}
+        }
+    }
+    panic!("serde shim derive: tuple structs / unit structs are not supported")
+}
+
+/// First identifier of each top-level comma-separated chunk, skipping
+/// attributes and visibility — the field name for structs, the variant name
+/// for unit enums.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut want_name = true;
+    // Angle-bracket nesting depth: commas inside `Vec<(A, B)>`-style type
+    // arguments are not field separators ('<'/'>' are plain puncts, not
+    // token groups).
+    let mut depth = 0i32;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // attribute group
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => want_name = true,
+            TokenTree::Ident(id) if want_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else {
+                    names.push(s);
+                    want_name = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Item::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?})\
+                         .ok_or_else(|| ::serde::Error(format!(\"missing field {f}\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error(format!(\"unknown variant {{other}}\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error(format!(\"expected string, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated code")
+}

@@ -1,4 +1,6 @@
-//! Property-based tests over the core invariants:
+//! Randomized property tests over the core invariants (hand-rolled
+//! case generation on the deterministic in-tree RNG — the offline build
+//! environment has no proptest):
 //! * every loop template computes the serial result, for arbitrary
 //!   irregular shapes and thresholds;
 //! * every recursive template matches the serial tree reduction on
@@ -16,7 +18,8 @@ use npar::core::{
 use npar::graph::Csr;
 use npar::sim::{GBuf, Gpu, ThreadCtx};
 use npar::tree::TreeGen;
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// An arbitrary irregular loop whose body XOR-mixes (i, j) into out[i] —
 /// order-independent, so any correct template reproduces it exactly; the
@@ -74,46 +77,60 @@ fn serial_mix(sizes: &[usize]) -> Vec<u64> {
         .collect()
 }
 
-fn template_strategy() -> impl Strategy<Value = LoopTemplate> {
-    prop::sample::select(LoopTemplate::ALL.to_vec())
-}
+#[test]
+fn any_loop_template_matches_serial() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5e5);
+    for case in 0..48 {
+        let outer = rng.gen_range(1usize..80);
+        let sizes: Vec<usize> = (0..outer).map(|_| rng.gen_range(0usize..120)).collect();
+        let template = LoopTemplate::ALL[case % LoopTemplate::ALL.len()];
+        let lb = rng.gen_range(0usize..200);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn any_loop_template_matches_serial(
-        sizes in prop::collection::vec(0usize..120, 1..80),
-        template in template_strategy(),
-        lb in 0usize..200,
-    ) {
         let mut gpu = Gpu::k20();
         let app = Rc::new(MixLoop {
             out: RefCell::new(vec![0; sizes.len()]),
             buf: gpu.alloc::<u64>(sizes.len().max(1)),
             sizes: sizes.clone(),
         });
-        let report = run_loop(&mut gpu, app.clone(), template, &LoopParams::with_lb_thres(lb));
-        prop_assert_eq!(&*app.out.borrow(), &serial_mix(&sizes));
+        let report = run_loop(
+            &mut gpu,
+            app.clone(),
+            template,
+            &LoopParams::with_lb_thres(lb),
+        );
+        assert_eq!(
+            &*app.out.borrow(),
+            &serial_mix(&sizes),
+            "case {case}: {template:?} lb={lb} sizes={sizes:?}"
+        );
         let m = report.total();
-        prop_assert!(m.warp_execution_efficiency() <= 1.0 + 1e-9);
+        assert!(m.warp_execution_efficiency() <= 1.0 + 1e-9);
         // Broadcast reads can push gld efficiency above 100% (one
         // transaction serves every lane), like nvprof's metric; the warp
         // width bounds it.
-        prop_assert!(m.gld_efficiency() <= 32.0 + 1e-9);
-        prop_assert!(m.gld_efficiency() > 0.0);
-        prop_assert!(report.achieved_occupancy <= 1.0 + 1e-9);
+        assert!(m.gld_efficiency() <= 32.0 + 1e-9);
+        assert!(m.gld_efficiency() > 0.0);
+        assert!(report.achieved_occupancy <= 1.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn any_tree_template_matches_serial(
-        depth in 1u32..6,
-        outdegree in 1u32..12,
-        sparsity in 0u32..4,
-        seed in 0u64..1000,
-        template in prop::sample::select(RecTemplate::ALL.to_vec()),
-    ) {
-        let tree = TreeGen { depth, outdegree, sparsity, seed }.generate();
+#[test]
+fn any_tree_template_matches_serial() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7ee);
+    for case in 0..36 {
+        let depth = rng.gen_range(1u32..6);
+        let outdegree = rng.gen_range(1u32..12);
+        let sparsity = rng.gen_range(0u32..4);
+        let seed = rng.gen_range(0u64..1000);
+        let template = RecTemplate::ALL[case % RecTemplate::ALL.len()];
+
+        let tree = TreeGen {
+            depth,
+            outdegree,
+            sparsity,
+            seed,
+        }
+        .generate();
         let n = tree.num_nodes();
         // Serial descendants.
         let mut expect = vec![1u64; n];
@@ -131,40 +148,56 @@ proptest! {
             tree,
         });
         run_recursive(&mut gpu, app.clone(), template, &RecParams::default());
-        prop_assert_eq!(&*app.vals.borrow(), &expect);
+        assert_eq!(
+            &*app.vals.borrow(),
+            &expect,
+            "case {case}: {template:?} depth={depth} outdegree={outdegree} \
+             sparsity={sparsity} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn csr_roundtrip_preserves_edges(
-        edges in prop::collection::vec((0u32..50, 0u32..50), 0..400),
-    ) {
+#[test]
+fn csr_roundtrip_preserves_edges() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xc52);
+    for case in 0..48 {
+        let m = rng.gen_range(0usize..400);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| (rng.gen_range(0u32..50), rng.gen_range(0u32..50)))
+            .collect();
+
         let g = Csr::from_edges(50, &edges);
-        prop_assert!(g.validate().is_ok());
-        prop_assert_eq!(g.num_edges(), edges.len());
+        assert!(g.validate().is_ok(), "case {case}");
+        assert_eq!(g.num_edges(), edges.len());
         // Degree sums match.
         let total: usize = (0..50).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(total, edges.len());
+        assert_eq!(total, edges.len());
         // Reversal preserves the edge multiset.
         let r = g.reverse();
-        prop_assert_eq!(r.num_edges(), edges.len());
+        assert_eq!(r.num_edges(), edges.len());
         let mut fwd: Vec<(u32, u32)> = edges.clone();
         let mut back: Vec<(u32, u32)> = (0..50)
             .flat_map(|v| r.neighbors(v).iter().map(move |&u| (u, v as u32)))
             .collect();
         fwd.sort_unstable();
         back.sort_unstable();
-        prop_assert_eq!(fwd, back);
+        assert_eq!(fwd, back, "case {case}");
     }
+}
 
-    #[test]
-    fn gpu_sorts_sort(
-        mut data in prop::collection::vec(any::<u32>(), 0..600),
-        algo in prop::sample::select(vec![
-            npar::apps::sort::SortAlgo::MergeFlat,
-            npar::apps::sort::SortAlgo::QuickSimple,
-            npar::apps::sort::SortAlgo::QuickAdvanced,
-        ]),
-    ) {
+#[test]
+fn gpu_sorts_sort() {
+    const ALGOS: [npar::apps::sort::SortAlgo; 3] = [
+        npar::apps::sort::SortAlgo::MergeFlat,
+        npar::apps::sort::SortAlgo::QuickSimple,
+        npar::apps::sort::SortAlgo::QuickAdvanced,
+    ];
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5047);
+    for case in 0..24 {
+        let n = rng.gen_range(0usize..600);
+        let mut data: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+        let algo = ALGOS[case % ALGOS.len()];
+
         let mut gpu = Gpu::k20();
         let r = npar::apps::sort::sort_gpu(
             &mut gpu,
@@ -173,22 +206,31 @@ proptest! {
             &npar::apps::sort::SortParams::default(),
         );
         data.sort_unstable();
-        prop_assert_eq!(r.data, data);
+        assert_eq!(r.data, data, "case {case}: {algo:?} n={n}");
     }
+}
 
-    #[test]
-    fn tree_generation_invariants(
-        depth in 1u32..7,
-        outdegree in 0u32..10,
-        sparsity in 0u32..5,
-        seed in 0u64..500,
-    ) {
-        let tree = TreeGen { depth, outdegree, sparsity, seed }.generate();
-        prop_assert!(tree.validate().is_ok());
-        prop_assert!(tree.num_levels() as u32 <= depth.max(1));
+#[test]
+fn tree_generation_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x18ee);
+    for case in 0..60 {
+        let depth = rng.gen_range(1u32..7);
+        let outdegree = rng.gen_range(0u32..10);
+        let sparsity = rng.gen_range(0u32..5);
+        let seed = rng.gen_range(0u64..500);
+
+        let tree = TreeGen {
+            depth,
+            outdegree,
+            sparsity,
+            seed,
+        }
+        .generate();
+        assert!(tree.validate().is_ok(), "case {case}");
+        assert!(tree.num_levels() as u32 <= depth.max(1));
         // Level-order ids: every child id greater than its parent.
         for v in 1..tree.num_nodes() {
-            prop_assert!((tree.parent(v) as usize) < v);
+            assert!((tree.parent(v) as usize) < v, "case {case}");
         }
     }
 }
