@@ -90,10 +90,12 @@ impl IrregularLoop for FlatBfsLoop {
         let mut level = self.st.level.borrow_mut();
         let cur = self.st.cur.get();
         if level[w] == UNREACHED {
-            // Benign race on real hardware: every writer stores cur + 1.
+            // Discovery is an atomicCAS: every writer stores cur + 1, but
+            // concurrent discoveries of `w` from different blocks would be
+            // a write/write race as plain stores (npar-check flags them).
             level[w] = cur + 1;
             self.st.grew.set(true);
-            t.st(&self.level_buf, w);
+            t.atomic(&self.level_buf, w);
         }
     }
 }

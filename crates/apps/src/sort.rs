@@ -110,7 +110,8 @@ pub fn sort_gpu(gpu: &mut Gpu, input: &[u32], algo: SortAlgo, params: &SortParam
                     depth: 0,
                     params: *params,
                 });
-                gpu.launch(k, LaunchConfig::new(1, 128))
+                let shared = advanced_shared(n, 0, params);
+                gpu.launch(k, LaunchConfig::with_shared(1, 128, shared))
                     .expect("qsort launch");
             }
         }
@@ -286,6 +287,22 @@ fn emit_selection_sort(t: &mut ThreadCtx<'_, '_>, st: &SortState, lo: usize, len
 // Advanced quicksort (dynamic parallelism, block-parallel partition).
 // ---------------------------------------------------------------------------
 
+/// Largest segment the bitonic fallback stages in shared memory at once:
+/// 48 KB of `u32` keys. Longer segments (possible when the depth limit cuts
+/// recursion short) are sorted tile by tile.
+const BITONIC_TILE: usize = 12 * 1024;
+
+/// Dynamic shared memory an advanced-quicksort launch over `len` elements
+/// at `depth` needs: the staging area of the bitonic fallback when the
+/// segment will bitonic-sort, otherwise the two partition counters.
+fn advanced_shared(len: usize, depth: u32, params: &SortParams) -> u32 {
+    if len <= params.advanced_threshold || depth >= params.max_depth {
+        (len.min(BITONIC_TILE) * 4).max(8) as u32
+    } else {
+        8
+    }
+}
+
 struct AdvancedQsortKernel {
     st: Rc<SortState>,
     lo: usize,
@@ -380,9 +397,11 @@ impl Kernel for AdvancedQsortKernel {
             seg[below.len() + equal.len()..].copy_from_slice(&above);
             (mid_lo, mid_hi)
         };
-        // Leader launches both halves into separate streams.
-        let mut children: Vec<(KernelRef, Stream)> = Vec::new();
+        // Leader launches both halves into separate streams, each with the
+        // shared-memory declaration its segment length calls for.
+        let mut children: Vec<(KernelRef, LaunchConfig, Stream)> = Vec::new();
         if mid_lo > lo + 1 {
+            let shared = advanced_shared(mid_lo - lo, self.depth + 1, &self.params);
             children.push((
                 Rc::new(AdvancedQsortKernel {
                     st: Rc::clone(&self.st),
@@ -391,10 +410,12 @@ impl Kernel for AdvancedQsortKernel {
                     depth: self.depth + 1,
                     params: self.params,
                 }) as KernelRef,
+                LaunchConfig::with_shared(1, 128, shared),
                 Stream::Slot(0),
             ));
         }
         if hi > mid_hi + 1 {
+            let shared = advanced_shared(hi - mid_hi, self.depth + 1, &self.params);
             children.push((
                 Rc::new(AdvancedQsortKernel {
                     st: Rc::clone(&self.st),
@@ -403,13 +424,14 @@ impl Kernel for AdvancedQsortKernel {
                     depth: self.depth + 1,
                     params: self.params,
                 }) as KernelRef,
+                LaunchConfig::with_shared(1, 128, shared),
                 Stream::Slot(1),
             ));
         }
         blk.for_each_thread(|t| {
             if t.is_leader() {
-                for (k, s) in &children {
-                    t.launch(k, LaunchConfig::new(1, 128), *s);
+                for (k, cfg, s) in &children {
+                    t.launch(k, *cfg, *s);
                 }
             }
         });
@@ -417,53 +439,67 @@ impl Kernel for AdvancedQsortKernel {
 }
 
 /// Emit the instruction pattern of a block-wide bitonic sort over
-/// `[lo, lo + len)` staged in shared memory.
+/// `[lo, lo + len)` staged in shared memory. Segments longer than
+/// [`BITONIC_TILE`] (possible when the depth limit cuts recursion short)
+/// are processed tile by tile so the staging never outgrows the block's
+/// shared-memory declaration.
 fn emit_bitonic_sort(blk: &mut BlockCtx<'_>, st: &SortState, lo: usize, len: usize) {
-    let np2 = len.next_power_of_two();
     let bd = blk.block_dim() as usize;
-    // Stage into shared memory.
-    blk.for_each_thread(|t| {
-        let mut k = t.thread_idx() as usize;
-        while k < len {
-            t.ld(&st.buf, lo + k);
-            t.shared_st((k * 4) as u32);
-            k += bd;
-        }
-    });
-    blk.sync();
-    let mut size = 2usize;
-    while size <= np2 {
-        let mut stride = size / 2;
-        while stride > 0 {
-            blk.for_each_thread(|t| {
-                let mut pair = t.thread_idx() as usize;
-                while pair < np2 / 2 {
-                    let a = 2 * pair - (pair & (stride - 1));
-                    let b = a + stride;
-                    if b < len {
-                        t.shared_ld((a * 4) as u32);
-                        t.shared_ld((b * 4) as u32);
-                        t.compute(1);
-                        t.shared_st((a * 4) as u32);
-                        t.shared_st((b * 4) as u32);
-                    }
-                    pair += bd;
-                }
-            });
+    let mut tile_lo = 0usize;
+    while tile_lo < len {
+        let tl = (len - tile_lo).min(BITONIC_TILE);
+        let base = lo + tile_lo;
+        if tile_lo > 0 {
+            // The previous tile's write-back read the staging area this
+            // tile is about to overwrite.
             blk.sync();
-            stride /= 2;
         }
-        size *= 2;
+        // Stage into shared memory.
+        blk.for_each_thread(|t| {
+            let mut k = t.thread_idx() as usize;
+            while k < tl {
+                t.ld(&st.buf, base + k);
+                t.shared_st((k * 4) as u32);
+                k += bd;
+            }
+        });
+        blk.sync();
+        let np2 = tl.next_power_of_two();
+        let mut size = 2usize;
+        while size <= np2 {
+            let mut stride = size / 2;
+            while stride > 0 {
+                blk.for_each_thread(|t| {
+                    let mut pair = t.thread_idx() as usize;
+                    while pair < np2 / 2 {
+                        let a = 2 * pair - (pair & (stride - 1));
+                        let b = a + stride;
+                        if b < tl {
+                            t.shared_ld((a * 4) as u32);
+                            t.shared_ld((b * 4) as u32);
+                            t.compute(1);
+                            t.shared_st((a * 4) as u32);
+                            t.shared_st((b * 4) as u32);
+                        }
+                        pair += bd;
+                    }
+                });
+                blk.sync();
+                stride /= 2;
+            }
+            size *= 2;
+        }
+        // Write back.
+        blk.for_each_thread(|t| {
+            let mut k = t.thread_idx() as usize;
+            while k < tl {
+                t.shared_ld((k * 4) as u32);
+                t.st(&st.buf, base + k);
+                k += bd;
+            }
+        });
+        tile_lo += tl;
     }
-    // Write back.
-    blk.for_each_thread(|t| {
-        let mut k = t.thread_idx() as usize;
-        while k < len {
-            t.shared_ld((k * 4) as u32);
-            t.st(&st.buf, lo + k);
-            k += bd;
-        }
-    });
 }
 
 #[cfg(test)]

@@ -83,10 +83,11 @@ impl IrregularLoop for RelaxLoop {
         let mut up = self.st.up.borrow_mut();
         if cand < up[nbr] {
             up[nbr] = cand;
-            // Harish-Narayanan relax the update array with a plain store —
-            // the benign race of the reference implementation (every
-            // writer improves the value; the update kernel re-checks).
-            t.st(&self.up_buf, nbr);
+            // Harish-Narayanan relax the update array with an atomicMin:
+            // concurrent relaxations of the same neighbor from different
+            // blocks must not lose improvements (a plain store here is the
+            // write/write race npar-check flags).
+            t.atomic(&self.up_buf, nbr);
         }
     }
 }

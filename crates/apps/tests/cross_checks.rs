@@ -4,7 +4,7 @@
 
 use npar_apps::{bc, bfs, pagerank, sort, spmv, sssp, tree_apps};
 use npar_core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
-use npar_graph::{io, uniform_random, with_random_weights, wiki_vote_like};
+use npar_graph::{io, uniform_random, wiki_vote_like, with_random_weights};
 use npar_sim::Gpu;
 use npar_tree::TreeGen;
 
@@ -30,7 +30,13 @@ fn sssp_through_the_dimacs_parser() {
     assert_eq!(g.num_edges(), g0.num_edges());
     let (cpu, _) = sssp::sssp_cpu(&g, 0);
     let mut gpu = Gpu::k20();
-    let r = sssp::sssp_gpu(&mut gpu, &g, 0, LoopTemplate::DualQueue, &LoopParams::default());
+    let r = sssp::sssp_gpu(
+        &mut gpu,
+        &g,
+        0,
+        LoopTemplate::DualQueue,
+        &LoopParams::default(),
+    );
     assert!(close(&r.dist, &cpu, 1e-3));
 }
 
@@ -141,7 +147,9 @@ fn tree_apps_profile_counts_scale_with_shape() {
         RecTemplate::Flat,
         &RecParams::default(),
     );
-    let depth_sum: u64 = (0..tree.num_nodes()).map(|v| u64::from(tree.level(v))).sum();
+    let depth_sum: u64 = (0..tree.num_nodes())
+        .map(|v| u64::from(tree.level(v)))
+        .sum();
     assert_eq!(flat.report.total().atomics(), depth_sum);
 
     let mut gpu = Gpu::k20();

@@ -39,13 +39,15 @@ fn main() {
             cost.device_launch_issue_cycles *= scale;
 
             let sssp_time = |template| {
-                let mut gpu = Gpu::new(DeviceConfig::kepler_k20(), cost.clone());
+                let mut gpu =
+                    runner::with_check_flag(Gpu::new(DeviceConfig::kepler_k20(), cost.clone()));
                 sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
                     .report
                     .seconds
             };
             let tree_time = |template| {
-                let mut gpu = Gpu::new(DeviceConfig::kepler_k20(), cost.clone());
+                let mut gpu =
+                    runner::with_check_flag(Gpu::new(DeviceConfig::kepler_k20(), cost.clone()));
                 tree_apps::tree_gpu(
                     &mut gpu,
                     &tree,

@@ -31,7 +31,8 @@ fn main() {
                 ..Default::default()
             };
             let run = |template| {
-                let mut gpu = Gpu::new(DeviceConfig::kepler_k20(), cost.clone());
+                let mut gpu =
+                    runner::with_check_flag(Gpu::new(DeviceConfig::kepler_k20(), cost.clone()));
                 sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
             };
             let base = run(LoopTemplate::ThreadMapped);

@@ -7,7 +7,7 @@
 use npar_apps::{bc, pagerank, spmv, sssp};
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::{CpuConfig, Gpu};
+use npar_sim::CpuConfig;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -47,7 +47,7 @@ fn run() -> Vec<Row> {
         let g = datasets::citeseer();
         let (_, counter) = sssp::sssp_cpu(&g, 0);
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
-        let mut gpu = Gpu::k20();
+        let mut gpu = runner::gpu();
         let r = sssp::sssp_gpu(&mut gpu, &g, 0, LoopTemplate::ThreadMapped, &params);
         rows.push(Row {
             app: "SSSP".into(),
@@ -64,7 +64,7 @@ fn run() -> Vec<Row> {
         let sources = bc::sample_sources(&g, 8);
         let (_, counter) = bc::bc_cpu(&g, &sources);
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
-        let mut gpu = Gpu::k20();
+        let mut gpu = runner::gpu();
         let r = bc::bc_gpu(&mut gpu, &g, &sources, LoopTemplate::ThreadMapped, &params);
         rows.push(Row {
             app: "BC".into(),
@@ -80,7 +80,7 @@ fn run() -> Vec<Row> {
         let g = datasets::citeseer_unweighted();
         let (_, counter) = pagerank::pagerank_cpu(&g, 5);
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
-        let mut gpu = Gpu::k20();
+        let mut gpu = runner::gpu();
         let r = pagerank::pagerank_gpu(&mut gpu, &g, 5, LoopTemplate::ThreadMapped, &params);
         rows.push(Row {
             app: "PageRank".into(),
@@ -97,7 +97,7 @@ fn run() -> Vec<Row> {
         let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
         let (_, counter) = spmv::spmv_cpu(&g, &x);
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
-        let mut gpu = Gpu::k20();
+        let mut gpu = runner::gpu();
         let r = spmv::spmv_gpu(&mut gpu, &g, &x, LoopTemplate::ThreadMapped, &params);
         rows.push(Row {
             app: "SpMV".into(),

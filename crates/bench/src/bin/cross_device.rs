@@ -32,7 +32,8 @@ fn main() {
         let g = g.clone();
         runner::with_big_stack(move || {
             let time = |template| {
-                let mut gpu = Gpu::new(device.clone(), CostModel::default());
+                let mut gpu =
+                    runner::with_check_flag(Gpu::new(device.clone(), CostModel::default()));
                 sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
                     .report
                     .seconds

@@ -5,7 +5,6 @@
 
 use npar_apps::sort::{sort_gpu, SortAlgo, SortParams};
 use npar_bench::{datasets, results, runner, table};
-use npar_sim::Gpu;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -40,7 +39,7 @@ fn main() {
         runner::with_big_stack(move || {
             let mut rng = ChaCha8Rng::seed_from_u64(datasets::SEED + n as u64);
             let data: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             let r = sort_gpu(&mut gpu, &data, algo, &SortParams::default());
             let mut sorted = data;
             sorted.sort_unstable();

@@ -7,7 +7,6 @@
 use npar_apps::spmv;
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::Gpu;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,7 +26,7 @@ fn main() {
         let g = g.clone();
         let x = x.clone();
         runner::with_big_stack(move || {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             spmv::spmv_gpu(
                 &mut gpu,
                 &g,
@@ -60,7 +59,7 @@ fn main() {
         let g = g.clone();
         let x = x.clone();
         runner::with_big_stack(move || {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             let params = LoopParams {
                 lb_thres: lb,
                 block_block: bs,

@@ -5,7 +5,6 @@
 use npar_apps::sssp;
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::Gpu;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -27,7 +26,7 @@ fn main() {
     let base = runner::with_big_stack({
         let g = g.clone();
         move || {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             sssp::sssp_gpu(
                 &mut gpu,
                 &g,
@@ -55,7 +54,7 @@ fn main() {
         let g = g2.clone();
         let base_s = base.report.seconds;
         runner::with_big_stack(move || {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(lb));
             Row {
                 template: template.to_string(),

@@ -7,7 +7,6 @@ use npar_apps::{bc, pagerank, spmv};
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
 use npar_graph::Csr;
-use npar_sim::Gpu;
 use serde::Serialize;
 
 const LB_VALUES: [usize; 5] = [32, 64, 128, 256, 1024];
@@ -89,7 +88,7 @@ fn main() {
         let g = datasets::wiki_vote();
         let sources = bc::sample_sources(&g, 8);
         let rows = sweep("bc", g, move |g, template, params| {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             bc::bc_gpu(&mut gpu, g, &sources, template, params)
                 .report
                 .seconds
@@ -105,7 +104,7 @@ fn main() {
     {
         let g = datasets::citeseer_unweighted();
         let rows = sweep("pagerank", g, |g, template, params| {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             pagerank::pagerank_gpu(&mut gpu, g, 5, template, params)
                 .report
                 .seconds
@@ -122,7 +121,7 @@ fn main() {
         let g = datasets::citeseer();
         let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
         let rows = sweep("spmv", g, move |g, template, params| {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             spmv::spmv_gpu(&mut gpu, g, &x, template, params)
                 .report
                 .seconds

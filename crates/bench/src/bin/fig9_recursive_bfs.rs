@@ -13,7 +13,7 @@
 use npar_apps::bfs;
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::{CostModel, CpuConfig, Gpu};
+use npar_sim::{CostModel, CpuConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -91,7 +91,7 @@ fn one_range(n: usize, range: (u32, u32)) -> Row {
 
     let mut variants = Vec::new();
     {
-        let mut gpu = Gpu::k20();
+        let mut gpu = runner::gpu();
         let r = bfs::bfs_flat_gpu(
             &mut gpu,
             &g,
@@ -113,7 +113,7 @@ fn one_range(n: usize, range: (u32, u32)) -> Row {
         ("hier", bfs::RecBfsVariant::Hier, 1),
         ("hier+stream", bfs::RecBfsVariant::Hier, 2),
     ] {
-        let mut gpu = Gpu::k20();
+        let mut gpu = runner::gpu();
         let r = bfs::bfs_recursive_gpu(&mut gpu, &g, 0, variant, streams);
         variants.push((
             label.to_string(),

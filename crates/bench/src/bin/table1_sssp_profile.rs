@@ -5,7 +5,6 @@
 use npar_apps::sssp;
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::Gpu;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -41,7 +40,7 @@ fn main() {
     let rows: Vec<Row> = runner::parallel_map(templates.to_vec(), move |template| {
         let g = g2.clone();
         runner::with_big_stack(move || {
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32));
             // Profile the template's own kernels like the paper's nvprof
             // tables; the shared (uniform, fully coalesced) update kernel

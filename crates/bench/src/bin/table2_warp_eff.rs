@@ -7,7 +7,6 @@
 use npar_apps::{bc, pagerank, spmv, sssp};
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::Gpu;
 use serde::Serialize;
 
 const LB_VALUES: [usize; 4] = [32, 64, 256, 1024];
@@ -32,7 +31,7 @@ fn main() {
     let rows: Vec<Row> = runner::parallel_map(apps, move |app| {
         let run = |template: LoopTemplate, lb: usize| -> f64 {
             let params = LoopParams::with_lb_thres(lb);
-            let mut gpu = Gpu::k20();
+            let mut gpu = runner::gpu();
             let report = match app {
                 "SSSP" => {
                     let g = datasets::citeseer();

@@ -1,6 +1,43 @@
 //! Execution helpers for the experiment binaries.
 
+use std::sync::OnceLock;
 use std::thread;
+
+use npar_sim::{CheckLevel, Gpu};
+
+/// Hazard-checker severity requested on the command line. Every experiment
+/// binary accepts `--check` (or `--check=warn`) to record hazards while the
+/// runs continue, and `--check=strict` to abort an experiment on the first
+/// detected hazard. Unknown arguments are ignored — the experiments have no
+/// other flags.
+pub fn check_level() -> CheckLevel {
+    static LEVEL: OnceLock<CheckLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        let mut level = CheckLevel::Off;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--check" | "--check=warn" => level = CheckLevel::Warn,
+                "--check=strict" => level = CheckLevel::Strict,
+                _ => {}
+            }
+        }
+        level
+    })
+}
+
+/// A K20-configured simulator honouring the `--check` flag. Experiment
+/// binaries construct their simulators through this so one flag covers
+/// every worker thread.
+pub fn gpu() -> Gpu {
+    Gpu::k20().with_check(check_level())
+}
+
+/// Apply the `--check` flag to an explicitly configured simulator (the
+/// ablation and cross-device binaries build theirs from custom configs).
+#[must_use]
+pub fn with_check_flag(gpu: Gpu) -> Gpu {
+    gpu.with_check(check_level())
+}
 
 /// Run an experiment on a worker thread with a large stack.
 ///

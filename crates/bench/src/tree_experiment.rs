@@ -7,7 +7,7 @@
 
 use npar_apps::tree_apps::{tree_cpu_iterative, tree_cpu_recursive, tree_gpu, TreeMetric};
 use npar_core::{RecParams, RecTemplate};
-use npar_sim::{CostModel, CpuConfig, Gpu};
+use npar_sim::{CostModel, CpuConfig};
 use serde::Serialize;
 
 use crate::table::{count, fx, pct, Table};
@@ -96,7 +96,7 @@ fn one_config(metric: TreeMetric, config: String, outdegree: u32, sparsity: u32)
     let variants = RecTemplate::ALL
         .iter()
         .map(|&template| {
-            let mut gpu = Gpu::k20();
+            let mut gpu = crate::runner::gpu();
             let r = tree_gpu(&mut gpu, &tree, metric, template, &RecParams::default());
             let m = r.report.total();
             TreeVariant {
@@ -187,7 +187,7 @@ fn streams_table(metric: TreeMetric) -> Table {
         for streams in [1u32, 2, 4] {
             let tree = tree.clone();
             let secs = runner::with_big_stack(move || {
-                let mut gpu = Gpu::k20();
+                let mut gpu = crate::runner::gpu();
                 tree_gpu(
                     &mut gpu,
                     &tree,

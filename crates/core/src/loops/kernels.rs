@@ -12,9 +12,13 @@ use npar_sim::{
 use super::spec::IrregularLoop;
 use crate::reduce::emit_block_reduce;
 
-/// Shared-memory byte offset where block reductions stage partials (above
-/// the delayed-buffer region).
+/// Shared-memory byte offset where [`DbufSharedKernel`] stages its block
+/// reduction: right above the delayed-buffer region.
 const REDUCE_BASE: u32 = 4096;
+
+/// Staging slots in the shared-memory delayed buffer: the 4096-byte region
+/// holds one tail counter plus 1023 buffered indices.
+const DBUF_CAP: usize = (REDUCE_BASE as usize - 4) / 4;
 
 pub(crate) type App = Rc<dyn IrregularLoop>;
 
@@ -76,8 +80,10 @@ pub(crate) struct BlockMappedKernel {
 }
 
 impl BlockMappedKernel {
-    /// Process outer iteration `i` with the whole block.
-    pub(crate) fn block_iteration(app: &App, blk: &mut BlockCtx<'_>, i: usize) {
+    /// Process outer iteration `i` with the whole block. `reduce_base` is
+    /// the shared-memory byte offset where the reduction (if any) stages
+    /// its partials; callers must declare `block_dim * 4` bytes above it.
+    pub(crate) fn block_iteration(app: &App, blk: &mut BlockCtx<'_>, i: usize, reduce_base: u32) {
         let bd = blk.block_dim() as usize;
         blk.for_each_thread(|t| {
             app.outer_begin(t, i);
@@ -89,7 +95,7 @@ impl BlockMappedKernel {
             }
         });
         if app.has_reduction() {
-            emit_block_reduce(blk, bd as u32, REDUCE_BASE);
+            emit_block_reduce(blk, bd as u32, reduce_base);
         }
         blk.for_each_thread(|t| {
             if t.is_leader() {
@@ -121,7 +127,7 @@ impl Kernel for BlockMappedKernel {
                     items[k] as usize
                 }
             };
-            Self::block_iteration(&self.app, blk, i);
+            Self::block_iteration(&self.app, blk, i, 0);
             k += gd;
         }
     }
@@ -252,7 +258,11 @@ impl Kernel for DbufSharedKernel {
             while i < n {
                 app.inner_len_cost(t, i);
                 let f = app.inner_len(i);
-                if f <= lb {
+                let full = t.state::<Vec<u32>>().len() >= DBUF_CAP;
+                if f <= lb || full {
+                    // Small iteration — or the fixed-size buffer overflowed
+                    // (the real template's fallback: process inline rather
+                    // than write past the staging region).
                     serial_iteration(app, t, i);
                 } else {
                     t.shared_atomic(0);
@@ -272,7 +282,7 @@ impl Kernel for DbufSharedKernel {
             }
             let slot = 4 + idx as u32 * 4;
             blk.for_each_thread(|t| t.shared_ld(slot));
-            BlockMappedKernel::block_iteration(app, blk, iu as usize);
+            BlockMappedKernel::block_iteration(app, blk, iu as usize, REDUCE_BASE);
         }
     }
 }
@@ -286,6 +296,10 @@ pub(crate) struct DparNaiveKernel {
     pub lb_thres: usize,
     pub child_block: u32,
     pub max_grid: u32,
+    /// Outer iterations handed to child grids, recorded for the host-side
+    /// [`OuterEndKernel`] epilogue (the inner-length classification can
+    /// change while the grid runs, so the set must be captured here).
+    pub launched: Rc<RefCell<Vec<u32>>>,
 }
 
 impl ThreadKernel for DparNaiveKernel {
@@ -307,6 +321,7 @@ impl ThreadKernel for DparNaiveKernel {
                     app: Rc::clone(&self.app),
                     i,
                 });
+                self.launched.borrow_mut().push(i as u32);
                 t.launch(
                     &child,
                     LaunchConfig::cover(f, self.child_block, self.max_grid),
@@ -345,10 +360,36 @@ impl ThreadKernel for DparInnerKernel {
         if any && self.app.has_reduction() {
             self.app.combine_atomic(t, self.i);
         }
-        // The final thread of the grid finalizes the iteration — by then
-        // every body and combine of this grid has run.
-        if t.block_idx() == t.grid_dim() - 1 && t.thread_idx() == t.block_dim() - 1 {
-            self.app.outer_end(t, self.i);
+        // `outer_end` runs in the host-side [`OuterEndKernel`] epilogue:
+        // no thread of this grid can finalize the iteration without racing
+        // against the other blocks' combines.
+    }
+}
+
+/// Host-launched epilogue of dpar-naive: runs `outer_end` for every outer
+/// iteration that was handed to a child grid. The child kernels combine
+/// with atomics but no single thread of theirs can know when the whole
+/// grid is done; the reference implementations finalize from a follow-up
+/// kernel, which also keeps the cross-block hazard rules satisfied.
+pub(crate) struct OuterEndKernel {
+    pub name: String,
+    pub app: App,
+    pub items: Rc<Vec<u32>>,
+    pub buf: GBuf<u32>,
+}
+
+impl ThreadKernel for OuterEndKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        let n = self.items.len();
+        let stride = t.grid_threads();
+        let mut k = t.global_id();
+        while k < n {
+            t.ld(&self.buf, k);
+            self.app.outer_end(t, self.items[k] as usize);
+            k += stride;
         }
     }
 }
@@ -404,7 +445,12 @@ impl Kernel for DparOptKernel {
             items: Rc::clone(&items),
             stage,
         });
-        let cfg = LaunchConfig::new(items.len() as u32, self.child_block);
+        let mut cfg = LaunchConfig::new(items.len() as u32, self.child_block);
+        if app.has_reduction() {
+            // The child's block-mapped iterations stage their reduction
+            // partials at shared offset 0.
+            cfg.shared_mem_bytes = self.child_block * 4;
+        }
         blk.for_each_thread(|t| {
             if t.is_leader() {
                 t.launch(&child, cfg, Stream::Default);
@@ -431,6 +477,6 @@ impl Kernel for DparOptChildKernel {
         let i = self.items[k] as usize;
         let stage = self.stage;
         blk.for_each_thread(|t| t.ld(&stage, i));
-        BlockMappedKernel::block_iteration(&self.app, blk, i);
+        BlockMappedKernel::block_iteration(&self.app, blk, i, 0);
     }
 }

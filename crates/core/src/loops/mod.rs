@@ -19,12 +19,24 @@ pub use spec::{IrregularLoop, LoopParams, LoopTemplate};
 
 use kernels::{
     App, BlockMappedKernel, DbufGlobalFilterKernel, DbufSharedKernel, DparNaiveKernel,
-    DparOptKernel, QueueBuildKernel, QueueThreadKernel, RowSource, ThreadMappedKernel,
+    DparOptKernel, OuterEndKernel, QueueBuildKernel, QueueThreadKernel, RowSource,
+    ThreadMappedKernel,
 };
 
 /// Shared-memory reservation for kernels that stage a per-block delayed
 /// buffer (constrains occupancy like the real templates do).
 const DBUF_SHARED_BYTES: u32 = 4096;
+
+/// Shared-memory bytes a block-mapped phase needs for its reduction
+/// staging area (`block * 4` partials at the reduce base), zero when the
+/// loop has no reduction.
+fn reduce_shared(app: &dyn IrregularLoop, block: u32) -> u32 {
+    if app.has_reduction() {
+        block * 4
+    } else {
+        0
+    }
+}
 
 /// Run `app` under `template` and return the batch report.
 pub fn run_loop(
@@ -128,14 +140,18 @@ impl IrregularLoop for RangeView {
 fn block_mapped(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
     let n = app.outer_len();
     let name = format!("{}/block-mapped", app.name());
+    let shared = reduce_shared(app.as_ref(), params.block_block);
     let k = Rc::new(BlockMappedKernel {
         name,
         app,
         source: RowSource::All(n),
     });
     let grid = (n as u32).min(params.max_grid).max(1);
-    gpu.launch(k, LaunchConfig::new(grid, params.block_block))
-        .expect("block-mapped launch");
+    gpu.launch(
+        k,
+        LaunchConfig::with_shared(grid, params.block_block, shared),
+    )
+    .expect("block-mapped launch");
     gpu.synchronize()
 }
 
@@ -170,6 +186,7 @@ fn dual_queue(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
     }
     if !large.is_empty() {
         let grid = (large.len() as u32).min(params.max_grid);
+        let shared = reduce_shared(app.as_ref(), params.block_block);
         let k = Rc::new(BlockMappedKernel {
             name: format!("{}/dual-queue/large", app.name()),
             app,
@@ -178,8 +195,11 @@ fn dual_queue(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
                 buf: large_buf,
             },
         });
-        gpu.launch(k, LaunchConfig::new(grid, params.block_block))
-            .expect("large-queue launch");
+        gpu.launch(
+            k,
+            LaunchConfig::with_shared(grid, params.block_block, shared),
+        )
+        .expect("large-queue launch");
     }
     gpu.synchronize()
 }
@@ -203,6 +223,7 @@ fn dbuf_global(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
     let items = std::mem::take(&mut *buffered.borrow_mut());
     if !items.is_empty() {
         let grid = (items.len() as u32).min(params.max_grid);
+        let shared = reduce_shared(app.as_ref(), params.block_block);
         let k = Rc::new(BlockMappedKernel {
             name: format!("{}/dbuf-global/buffer", app.name()),
             app,
@@ -211,8 +232,11 @@ fn dbuf_global(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
                 buf,
             },
         });
-        gpu.launch(k, LaunchConfig::new(grid, params.block_block))
-            .expect("dbuf-global buffer launch");
+        gpu.launch(
+            k,
+            LaunchConfig::with_shared(grid, params.block_block, shared),
+        )
+        .expect("dbuf-global buffer launch");
     }
     gpu.synchronize()
 }
@@ -220,13 +244,16 @@ fn dbuf_global(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
 fn dbuf_shared(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
     let n = app.outer_len();
     let name = format!("{}/dbuf-shared", app.name());
+    // The staging region sits below the reduction partials, so the block
+    // needs both (the phase-B reduction runs at REDUCE_BASE).
+    let shared = DBUF_SHARED_BYTES + reduce_shared(app.as_ref(), params.thread_block);
     let k = Rc::new(DbufSharedKernel {
         name,
         app,
         lb_thres: params.lb_thres,
     });
     let mut cfg = cover(n, params.thread_block, params);
-    cfg.shared_mem_bytes = DBUF_SHARED_BYTES;
+    cfg.shared_mem_bytes = shared;
     gpu.launch(k, cfg).expect("dbuf-shared launch");
     gpu.synchronize()
 }
@@ -234,15 +261,33 @@ fn dbuf_shared(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
 fn dpar_naive(gpu: &mut Gpu, app: App, params: &LoopParams) -> Report {
     let n = app.outer_len();
     let name = format!("{}/dpar-naive", app.name());
+    let launched = Rc::new(RefCell::new(Vec::new()));
     let k = Rc::new(DparNaiveKernel {
         name,
-        app,
+        app: Rc::clone(&app),
         lb_thres: params.lb_thres,
         child_block: params.block_block,
         max_grid: params.max_grid,
+        launched: Rc::clone(&launched),
     });
     gpu.launch(k, cover(n, params.thread_block, params))
         .expect("dpar-naive launch");
+    // Epilogue: finalize the iterations the child grids processed (their
+    // combines are atomic; no child thread can run `outer_end` without
+    // racing the other blocks of its grid).
+    let items = std::mem::take(&mut *launched.borrow_mut());
+    if !items.is_empty() {
+        let buf = gpu.alloc::<u32>(items.len());
+        let len = items.len();
+        let k = Rc::new(OuterEndKernel {
+            name: format!("{}/dpar-naive/outer-end", app.name()),
+            app,
+            items: Rc::new(items),
+            buf,
+        });
+        gpu.launch(k, cover(len, params.thread_block, params))
+            .expect("dpar-naive epilogue launch");
+    }
     gpu.synchronize()
 }
 

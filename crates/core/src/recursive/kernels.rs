@@ -133,7 +133,8 @@ pub(crate) struct RecHierKernel {
 
 impl RecHierKernel {
     /// Grid: one block per child; block size covers the widest
-    /// grandchild set (rounded to warps).
+    /// grandchild set (rounded to warps). Declares the shared memory the
+    /// leaf-folding reduction stages its per-thread partials in.
     pub(crate) fn config_for(app: &RecApp, node: usize, max_threads: u32) -> LaunchConfig {
         let tree = app.tree();
         let widest = tree
@@ -142,10 +143,8 @@ impl RecHierKernel {
             .map(|&c| tree.num_children(c as usize))
             .max()
             .unwrap_or(0);
-        LaunchConfig::new(
-            tree.num_children(node).max(1) as u32,
-            block_for(widest, max_threads),
-        )
+        let block = block_for(widest, max_threads);
+        LaunchConfig::with_shared(tree.num_children(node).max(1) as u32, block, block * 4)
     }
 }
 

@@ -59,7 +59,7 @@ mod tests {
         let mut gpu = Gpu::k20();
         gpu.launch(
             Rc::new(ReduceKernel { width: 64 }),
-            LaunchConfig::new(1, 64),
+            LaunchConfig::with_shared(1, 64, 256),
         )
         .unwrap();
         let r = gpu.synchronize();
@@ -72,8 +72,11 @@ mod tests {
     #[test]
     fn width_one_is_free() {
         let mut gpu = Gpu::k20();
-        gpu.launch(Rc::new(ReduceKernel { width: 1 }), LaunchConfig::new(1, 32))
-            .unwrap();
+        gpu.launch(
+            Rc::new(ReduceKernel { width: 1 }),
+            LaunchConfig::with_shared(1, 32, 128),
+        )
+        .unwrap();
         let r = gpu.synchronize();
         assert_eq!(r.kernels["reduce"].barriers, 0);
     }
@@ -83,7 +86,7 @@ mod tests {
         let mut gpu = Gpu::k20();
         gpu.launch(
             Rc::new(ReduceKernel { width: 48 }),
-            LaunchConfig::new(1, 64),
+            LaunchConfig::with_shared(1, 64, 256),
         )
         .unwrap();
         let r = gpu.synchronize();

@@ -196,7 +196,11 @@ impl<T: Deserialize> Deserialize for Option<T> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
@@ -213,8 +217,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
-        let mut fields: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         fields.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(fields)
     }
@@ -246,7 +252,7 @@ mod tests {
     fn primitives_roundtrip() {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
-        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert!(bool::from_value(&true.to_value()).unwrap());
         assert_eq!(
             String::from_value(&"hi".to_string().to_value()).unwrap(),
             "hi"

@@ -332,7 +332,10 @@ mod tests {
         let v = Value::Object(vec![
             ("a".into(), Value::Int(-3)),
             ("b".into(), Value::Float(1.5)),
-            ("c".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "c".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("d".into(), Value::Str("x \"y\"\n".into())),
             ("e".into(), Value::UInt(u64::MAX)),
         ]);

@@ -1,0 +1,218 @@
+//! Race detection over recorded traces: shared-memory conflicts within a
+//! block's barrier segments, and cross-block global-memory conflicts.
+//!
+//! The functional simulator runs threads sequentially, so a racy kernel
+//! still produces one deterministic (usually correct-looking) answer; these
+//! passes recover the concurrency the hardware would actually have — any
+//! two threads of a block race between barriers, any two blocks of a grid
+//! race for the grid's whole duration — and flag the conflicting accesses.
+
+use super::{merge_intervals, CheckState, GridAccess, Hazard, HazardKind};
+use crate::trace::Op;
+
+/// Per-role record of up to two *distinct* lanes that touched an address.
+#[derive(Clone, Copy, Default)]
+struct LanePair(Option<u32>, Option<u32>);
+
+impl LanePair {
+    fn add(&mut self, lane: u32) {
+        match (self.0, self.1) {
+            (None, _) => self.0 = Some(lane),
+            (Some(a), None) if a != lane => self.1 = Some(lane),
+            _ => {}
+        }
+    }
+
+    /// A lane in the pair different from `other`, if any.
+    fn other_than(&self, other: u32) -> Option<u32> {
+        [self.0, self.1].into_iter().flatten().find(|&l| l != other)
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct SharedCell {
+    writers: LanePair,
+    readers: LanePair,
+    atomics: LanePair,
+}
+
+/// Cap of reported shared races per segment — one bad access pattern
+/// otherwise reports every address of the block's shared array.
+const MAX_SHARED_PER_SEGMENT: usize = 4;
+
+/// Within each barrier segment, flag shared-memory words where two distinct
+/// lanes conflict: write/write, or a non-atomic write against any other
+/// lane's read or atomic. Atomic/atomic pairs are ordered by the hardware
+/// and never flagged.
+pub(crate) fn scan_shared_races(
+    st: &mut CheckState,
+    traces: &[Vec<Op>],
+    ranges: &[(u32, u32)],
+    nsegs: usize,
+    kernel: &str,
+    grid: usize,
+    block: u32,
+) {
+    let mut cells: std::collections::BTreeMap<u32, SharedCell> = std::collections::BTreeMap::new();
+    for seg in 0..nsegs {
+        cells.clear();
+        for (lane, t) in traces.iter().enumerate() {
+            let (a, b) = ranges[lane * nsegs + seg];
+            for op in &t[a as usize..b as usize] {
+                match *op {
+                    Op::SharedWrite { addr } => {
+                        cells.entry(addr).or_default().writers.add(lane as u32)
+                    }
+                    Op::SharedRead { addr } => {
+                        cells.entry(addr).or_default().readers.add(lane as u32)
+                    }
+                    Op::AtomicShared { addr } => {
+                        cells.entry(addr).or_default().atomics.add(lane as u32)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut reported = 0;
+        for (&addr, cell) in &cells {
+            if reported >= MAX_SHARED_PER_SEGMENT {
+                break;
+            }
+            let Some(w) = cell.writers.0 else { continue };
+            let conflict = if let Some(w2) = cell.writers.other_than(w) {
+                Some(("write/write", w2))
+            } else if let Some(r) = cell.readers.other_than(w) {
+                Some(("read/write", r))
+            } else {
+                cell.atomics.other_than(w).map(|a| ("atomic/write", a))
+            };
+            if let Some((what, lane2)) = conflict {
+                reported += 1;
+                st.record(Hazard {
+                    kind: HazardKind::SharedRace,
+                    kernel: kernel.to_string(),
+                    grid,
+                    block,
+                    details: format!(
+                        "{what} race on shared offset {addr:#x} in barrier segment \
+                         {seg}: threads {w} and {lane2}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Collect this block's global-memory footprint (merged intervals per
+/// access kind) into the grid accumulator for the cross-block sweep.
+pub(crate) fn collect_global(traces: &[Vec<Op>], block: u32, gaccess: &mut GridAccess) {
+    let mut reads: Vec<(u64, u64)> = Vec::new();
+    let mut writes: Vec<(u64, u64)> = Vec::new();
+    let mut atomics: Vec<(u64, u64)> = Vec::new();
+    for t in traces {
+        for op in t {
+            match *op {
+                Op::GlobalRead { addr, size } => reads.push((addr, addr + u64::from(size))),
+                Op::GlobalWrite { addr, size } => writes.push((addr, addr + u64::from(size))),
+                // Atomics carry no size; the minimum 4-byte word still
+                // overlaps any access to the same element.
+                Op::AtomicGlobal { addr } => atomics.push((addr, addr + 4)),
+                _ => {}
+            }
+        }
+    }
+    merge_intervals(&mut reads);
+    merge_intervals(&mut writes);
+    merge_intervals(&mut atomics);
+    gaccess
+        .reads
+        .extend(reads.into_iter().map(|(a, b)| (a, b, block)));
+    gaccess
+        .writes
+        .extend(writes.into_iter().map(|(a, b)| (a, b, block)));
+    gaccess
+        .atomics
+        .extend(atomics.into_iter().map(|(a, b)| (a, b, block)));
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Read,
+    Write,
+    Atomic,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Read => "read",
+            Kind::Write => "write",
+            Kind::Atomic => "atomic",
+        }
+    }
+}
+
+/// Cap of reported cross-block conflicts per grid.
+const MAX_GLOBAL_PER_GRID: usize = 8;
+
+/// Sweep the grid's merged intervals for cross-block conflicts: two blocks
+/// overlap, at least one side a non-atomic write. Read/atomic and
+/// atomic/atomic pairs are the sanctioned communication idioms and pass.
+pub(crate) fn sweep_global(st: &mut CheckState, kernel: &str, grid: usize, gaccess: &GridAccess) {
+    let mut events: Vec<(u64, u64, u32, Kind)> =
+        Vec::with_capacity(gaccess.reads.len() + gaccess.writes.len() + gaccess.atomics.len());
+    events.extend(
+        gaccess
+            .reads
+            .iter()
+            .map(|&(a, b, blk)| (a, b, blk, Kind::Read)),
+    );
+    events.extend(
+        gaccess
+            .writes
+            .iter()
+            .map(|&(a, b, blk)| (a, b, blk, Kind::Write)),
+    );
+    events.extend(
+        gaccess
+            .atomics
+            .iter()
+            .map(|&(a, b, blk)| (a, b, blk, Kind::Atomic)),
+    );
+    events.sort_unstable_by_key(|&(a, b, blk, _)| (a, b, blk));
+
+    let mut active: Vec<usize> = Vec::new();
+    let mut reported_pairs: std::collections::BTreeSet<(u32, u32)> =
+        std::collections::BTreeSet::new();
+    for (i, &(start, end, blk, kind)) in events.iter().enumerate() {
+        active.retain(|&j| events[j].1 > start);
+        for &j in &active {
+            let (astart, aend, ablk, akind) = events[j];
+            if ablk == blk || (akind != Kind::Write && kind != Kind::Write) {
+                continue;
+            }
+            let pair = (ablk.min(blk), ablk.max(blk));
+            if !reported_pairs.insert(pair) {
+                continue;
+            }
+            let lo = start.max(astart);
+            let hi = end.min(aend);
+            st.record(Hazard {
+                kind: HazardKind::GlobalRace,
+                kernel: kernel.to_string(),
+                grid,
+                block: blk,
+                details: format!(
+                    "{}-{} conflict on global range [{lo:#x}, {hi:#x}) between \
+                     blocks {ablk} and {blk}",
+                    akind.label(),
+                    kind.label()
+                ),
+            });
+            if reported_pairs.len() >= MAX_GLOBAL_PER_GRID {
+                return;
+            }
+        }
+        active.push(i);
+    }
+}

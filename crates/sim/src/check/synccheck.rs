@@ -1,0 +1,127 @@
+//! Barrier and dynamic-parallelism synchronization checks.
+
+use super::{merge_intervals, CheckState, PendingLint};
+use crate::trace::Op;
+
+/// Compare every lane's barrier sequence against lane 0's. Returns a
+/// located description of the first divergence, or `None` when uniform.
+///
+/// Divergent `__syncthreads` is undefined behaviour on hardware (typically
+/// a hang); the simulator used to `assert!` here, which took the whole
+/// process down. Now the caller records the diagnostic and sanitizes.
+pub(crate) fn barrier_divergence(traces: &[Vec<Op>]) -> Option<String> {
+    let reference: Vec<Op> = traces[0]
+        .iter()
+        .copied()
+        .filter(|o| o.is_delimiter())
+        .collect();
+    for (lane, t) in traces.iter().enumerate().skip(1) {
+        let mut mine = t.iter().copied().filter(|o| o.is_delimiter());
+        for (pos, &want) in reference.iter().enumerate() {
+            match mine.next() {
+                Some(got) if got == want => {}
+                Some(got) => {
+                    return Some(format!(
+                        "thread {lane} issued {got:?} at barrier #{pos} where \
+                         thread 0 issued {want:?}"
+                    ));
+                }
+                None => {
+                    return Some(format!(
+                        "thread {lane} issued {pos} barrier(s) but thread 0 \
+                         issued {}",
+                        reference.len()
+                    ));
+                }
+            }
+        }
+        let extra = mine.count();
+        if extra > 0 {
+            return Some(format!(
+                "thread {lane} issued {} barrier(s) but thread 0 issued {}",
+                reference.len() + extra,
+                reference.len()
+            ));
+        }
+    }
+    None
+}
+
+/// Make divergent traces safe for the timing path: truncate every lane at
+/// its first barrier, leaving a single barrier-free segment. The block's
+/// timing is then a best-effort prefix — acceptable for a block that is
+/// already reported as structurally broken.
+pub(crate) fn sanitize_divergent(traces: &mut [Vec<Op>]) {
+    for t in traces.iter_mut() {
+        if let Some(p) = t.iter().position(|o| o.is_delimiter()) {
+            t.truncate(p);
+        }
+    }
+}
+
+/// Lint fire-and-forget dynamic parallelism: record the global reads a
+/// block performs while it has launched children it never joined. A child
+/// grid only runs at the parent's `sync_children` or after the parent grid
+/// completes, so such reads can never observe the child's writes in the
+/// order the programmer usually expects — if the child writes what the
+/// parent read, that is flagged (resolution happens once the children have
+/// executed; see [`super::resolve_lints`]).
+///
+/// Scope of "unjoined" at a given read: children launched by any lane in
+/// an earlier barrier segment (a plain `Sync` does not join children —
+/// only `SyncChildren` clears them), plus children the *same lane*
+/// launched earlier in the current segment.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_unjoined_reads(
+    st: &mut CheckState,
+    traces: &[Vec<Op>],
+    ranges: &[(u32, u32)],
+    delims: &[Op],
+    nsegs: usize,
+    kernel: &str,
+    grid: usize,
+    block: u32,
+) {
+    let mut block_unjoined: Vec<usize> = Vec::new();
+    let mut reads: Vec<(u64, u64)> = Vec::new();
+    let mut children: Vec<usize> = Vec::new();
+    for seg in 0..nsegs {
+        let mut seg_launches: Vec<usize> = Vec::new();
+        for (lane, t) in traces.iter().enumerate() {
+            let (a, b) = ranges[lane * nsegs + seg];
+            let mut own: Vec<usize> = Vec::new();
+            for op in &t[a as usize..b as usize] {
+                match *op {
+                    Op::Launch { grid: child } => own.push(child as usize),
+                    Op::GlobalRead { addr, size }
+                        if !(block_unjoined.is_empty() && own.is_empty()) =>
+                    {
+                        reads.push((addr, addr + u64::from(size)));
+                        children.extend(block_unjoined.iter().copied());
+                        children.extend(own.iter().copied());
+                    }
+                    _ => {}
+                }
+            }
+            seg_launches.extend(own);
+        }
+        // Crossing the segment's closing barrier: SyncChildren joins every
+        // child launched so far; a plain Sync leaves them pending.
+        block_unjoined.extend(seg_launches);
+        if delims.get(seg) == Some(&Op::SyncChildren) {
+            block_unjoined.clear();
+        }
+    }
+    if !reads.is_empty() {
+        merge_intervals(&mut reads);
+        children.sort_unstable();
+        children.dedup();
+        st.lints.push(PendingLint {
+            kernel: kernel.to_string(),
+            grid,
+            block,
+            reads,
+            children,
+        });
+    }
+}

@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::check::CheckLevel;
+
 /// Static description of the simulated GPU.
 ///
 /// All limits are per the CUDA programming guide for the modeled compute
@@ -56,6 +58,9 @@ pub struct DeviceConfig {
     /// [`crate::cost::CostModel::pool_overflow_factor`]
     /// (`cudaLimitDevRuntimePendingLaunchCount`, default 2048 on Kepler).
     pub pending_launch_limit: u32,
+    /// Hazard-checker severity (see [`crate::check`]). `Off` by default —
+    /// like running without `cuda-memcheck`.
+    pub check: CheckLevel,
 }
 
 impl DeviceConfig {
@@ -79,6 +84,7 @@ impl DeviceConfig {
             mem_transaction_bytes: 128,
             shared_banks: 32,
             pending_launch_limit: 2048,
+            check: CheckLevel::Off,
         }
     }
 
@@ -114,6 +120,7 @@ impl DeviceConfig {
             mem_transaction_bytes: 128,
             shared_banks: 32,
             pending_launch_limit: 64,
+            check: CheckLevel::Off,
         }
     }
 

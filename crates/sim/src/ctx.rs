@@ -252,12 +252,28 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
     /// scheduled from the launch point plus the device launch latency and
     /// pending-pool service time.
     ///
-    /// Panics on a launch configuration the device cannot accept, which is
-    /// always a template bug.
+    /// A launch configuration the device cannot accept is recorded as an
+    /// [`crate::HazardKind::InvalidChildLaunch`] diagnostic and the child
+    /// is skipped (the CUDA device runtime likewise drops the grid and
+    /// sets an error). Under [`crate::CheckLevel::Warn`] execution
+    /// continues; otherwise the hosting [`crate::Gpu::launch`] fails.
     pub fn launch(&mut self, kernel: &KernelRef, cfg: LaunchConfig, stream: Stream) {
-        self.engine
-            .validate(&cfg)
-            .expect("invalid device-side launch configuration");
+        if let Err(err) = self.engine.validate(&cfg) {
+            let hazard = crate::check::memcheck::invalid_child_launch(
+                &self.engine.grids[self.grid_id].name,
+                self.grid_id,
+                self.block_idx,
+                self.thread_idx,
+                &cfg,
+                &err,
+            );
+            if self.engine.check.level == crate::check::CheckLevel::Warn {
+                self.engine.check.record(hazard);
+            } else {
+                self.engine.check.record_fatal(hazard);
+            }
+            return;
+        }
         let slot = match stream {
             Stream::Default => 0,
             Stream::Slot(n) => n,

@@ -1,6 +1,7 @@
 //! The top-level [`Gpu`] handle: allocate address space, launch kernels,
 //! synchronize, and collect reports.
 
+use crate::check::{self, CheckLevel, CheckReport};
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::engine::{register_grid, Engine, Origin};
@@ -74,6 +75,30 @@ impl Gpu {
         &self.engine.cost
     }
 
+    /// Set the hazard-checker severity (see [`crate::check`]).
+    pub fn set_check(&mut self, level: CheckLevel) {
+        self.engine.device.check = level;
+        self.engine.check.level = level;
+    }
+
+    /// Builder-style [`Gpu::set_check`].
+    #[must_use]
+    pub fn with_check(mut self, level: CheckLevel) -> Self {
+        self.set_check(level);
+        self
+    }
+
+    /// Current hazard-checker severity.
+    pub fn check_level(&self) -> CheckLevel {
+        self.engine.check.level
+    }
+
+    /// Drain the hazards recorded since the last drain (or synchronize).
+    /// Useful under [`CheckLevel::Warn`], where launches keep succeeding.
+    pub fn take_check_report(&mut self) -> CheckReport {
+        self.engine.check.take_report()
+    }
+
     /// Allocate simulated global memory for `len` elements of `T`.
     pub fn alloc<T>(&mut self, len: usize) -> GBuf<T> {
         self.alloc.alloc::<T>(len)
@@ -89,6 +114,13 @@ impl Gpu {
     }
 
     /// Launch a kernel into a chosen host stream.
+    ///
+    /// The kernel (and any child grids it spawns) executes functionally
+    /// before this returns, so the hazard checker has seen every trace:
+    /// structural faults (divergent barriers, invalid device-side
+    /// launches) fail the launch at any [`CheckLevel`], and under
+    /// [`CheckLevel::Strict`] every recorded hazard does. The functional
+    /// effects on application state have been applied either way.
     pub fn launch_in(
         &mut self,
         kernel: KernelRef,
@@ -103,6 +135,11 @@ impl Gpu {
         let seq = self.engine.host_seq;
         self.engine.host_seq += 1;
         register_grid(&mut self.engine, &kernel, cfg, Origin::Host { seq, stream });
+        check::resolve_lints(&mut self.engine);
+        let st = &mut self.engine.check;
+        if st.is_fatal() || (st.level == CheckLevel::Strict && st.has_hazards()) {
+            return Err(SimError::Hazard(st.take_report()));
+        }
         Ok(())
     }
 
@@ -120,6 +157,8 @@ impl Gpu {
         let kernels = std::mem::take(&mut self.engine.metrics);
         self.engine.grids.clear();
         self.engine.host_seq = 0;
+        let hazards = self.engine.check.batch_count();
+        self.engine.check.reset_batch();
         Report {
             device: self.engine.device.name.clone(),
             cycles: timing.makespan,
@@ -128,6 +167,7 @@ impl Gpu {
             host_launches,
             device_launches,
             overflow_launches: timing.overflow_launches,
+            hazards,
             kernels,
         }
     }

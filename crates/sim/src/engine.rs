@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::block::{finalize_block, BlockOutcome};
+use crate::check::{self, CheckState, GridAccess};
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::ctx::BlockCtx;
@@ -34,8 +35,7 @@ pub(crate) enum Origin {
 /// runs before its launching warp proceeds). Once executed, `kernel` is
 /// dropped and `blocks` is populated.
 pub(crate) struct GridTask {
-    /// Kernel name (kept for debugging dumps; metrics key on it already).
-    #[allow(dead_code)]
+    /// Kernel name (diagnostics key on it; metrics do already).
     pub name: String,
     pub cfg: LaunchConfig,
     pub origin: Origin,
@@ -56,10 +56,13 @@ pub(crate) struct Engine {
     /// Recycled per-thread trace buffers (capacity survives across blocks,
     /// which keeps millions of small blocks allocation-free).
     pub trace_pool: Vec<Vec<crate::trace::Op>>,
+    /// Hazard-checker state (see [`crate::check`]).
+    pub check: CheckState,
 }
 
 impl Engine {
     pub(crate) fn new(device: DeviceConfig, cost: CostModel) -> Self {
+        let check = CheckState::new(device.check);
         Engine {
             device,
             cost,
@@ -68,6 +71,7 @@ impl Engine {
             host_seq: 0,
             scratch: AlignScratch::default(),
             trace_pool: Vec::new(),
+            check,
         }
     }
 
@@ -135,10 +139,14 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
     };
     let cfg = engine.grids[id].cfg;
     let name = kernel.name().to_string();
+    // Global-access accumulator for the cross-block race sweep. A local:
+    // nested grids executed mid-block (a parent joining children) re-enter
+    // this function with their own accumulator on the stack.
+    let mut gaccess = GridAccess::default();
     for b in 0..cfg.grid_dim {
         let mut blk = BlockCtx::new(engine, kernel.as_ref(), id, b, cfg);
         kernel.run_block(&mut blk);
-        let (traces, pending) = blk.into_parts();
+        let (mut traces, pending) = blk.into_parts();
         // Split-borrow the engine so alignment can stream into the metrics
         // accumulator while reading the device/cost config.
         let Engine {
@@ -147,8 +155,10 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
             metrics,
             scratch,
             grids,
+            check,
             ..
         } = engine;
+        check::scan_block(check, &mut traces, &name, id, b, &cfg, &mut gaccess);
         let m = metrics.entry(name.clone()).or_default();
         let outcome = finalize_block(&traces, device, cost, m, scratch);
         grids[id].blocks.push(outcome);
@@ -158,6 +168,7 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
         );
         engine.trace_pool = traces;
     }
+    check::finish_grid(&mut engine.check, &name, id, gaccess);
 }
 
 /// Drive a host-launched grid and its whole descendant tree to functional

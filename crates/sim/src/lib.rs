@@ -19,6 +19,10 @@
 //!   grids (dynamic parallelism) release after a launch latency; parents
 //!   that join their children swap out and pay a restore penalty.
 //! * **Profiling** — `nvprof`-style metrics per kernel name.
+//! * **Hazard checking** — a `cuda-memcheck`-style sanitizer (see
+//!   [`check`]) replays the recorded traces for shared/global data races,
+//!   divergent barriers, out-of-bounds shared accesses and misused dynamic
+//!   parallelism, gated by [`CheckLevel`] on the device config.
 //!
 //! See `DESIGN.md` at the workspace root for the full substitution argument
 //! and the cost-model calibration policy.
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod block;
+pub mod check;
 pub mod config;
 pub mod cost;
 pub mod cpu;
@@ -42,6 +47,7 @@ mod sched;
 mod trace;
 mod warp;
 
+pub use check::{CheckLevel, CheckReport, Hazard, HazardKind};
 pub use config::{CpuConfig, DeviceConfig};
 pub use cost::{CostModel, CpuCostModel, DivergenceModel};
 pub use cpu::CpuCounter;

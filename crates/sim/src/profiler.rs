@@ -124,6 +124,10 @@ pub struct Report {
     /// Device launches that overflowed the fixed pending-launch pool into
     /// the slow virtualized pool.
     pub overflow_launches: u64,
+    /// Hazards the checker detected in this batch (including suppressed
+    /// ones beyond the recording cap); see [`crate::check`]. Always zero
+    /// at [`crate::check::CheckLevel::Off`].
+    pub hazards: u64,
     /// Per-kernel-name metrics.
     pub kernels: BTreeMap<String, KernelMetrics>,
 }
@@ -170,6 +174,7 @@ impl Report {
         self.host_launches += other.host_launches;
         self.device_launches += other.device_launches;
         self.overflow_launches += other.overflow_launches;
+        self.hazards += other.hazards;
         for (name, m) in &other.kernels {
             self.kernels.entry(name.clone()).or_default().merge(m);
         }
@@ -191,6 +196,9 @@ impl fmt::Display for Report {
             "launches: {} host, {} device",
             self.host_launches, self.device_launches
         )?;
+        if self.hazards > 0 {
+            writeln!(f, "hazards: {} (see the check report)", self.hazards)?;
+        }
         writeln!(
             f,
             "{:<28} {:>7} {:>9} {:>9} {:>9} {:>10} {:>8}",

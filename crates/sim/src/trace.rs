@@ -49,7 +49,8 @@ impl Op {
     /// Dispatch group for lockstep alignment: divergent ops of different
     /// kinds at the same trace position serialize into separate issue
     /// groups, which is how SIMT hardware handles intra-warp divergence.
-    #[cfg(test)]
+    /// The hazard checker classifies accesses through the same dispatch
+    /// groups, so both consumers agree on what "kind" an op is.
     pub(crate) fn group(self) -> OpGroup {
         match self {
             Op::Compute(_) => OpGroup::Compute,
@@ -79,7 +80,6 @@ pub(crate) enum OpGroup {
     AtomicShared = 6,
     Launch = 7,
     /// Barrier ops; never aligned (stripped into segment boundaries first).
-    #[allow(dead_code)]
     Delimiter = 8,
 }
 

@@ -112,14 +112,15 @@ pub(crate) fn align_warp(
                     }
                 }
                 OpGroup::GlobalRead | OpGroup::GlobalWrite => {
+                    // Membership comes from the shared Op::group dispatch
+                    // (the hazard checker classifies accesses the same way).
                     scratch.gaddrs.clear();
                     for op in scratch.step_ops.iter().flatten() {
-                        match (group, op) {
-                            (OpGroup::GlobalRead, Op::GlobalRead { addr, size })
-                            | (OpGroup::GlobalWrite, Op::GlobalWrite { addr, size }) => {
-                                scratch.gaddrs.push((*addr, *size));
-                            }
-                            _ => {}
+                        if op.group() != group {
+                            continue;
+                        }
+                        if let Op::GlobalRead { addr, size } | Op::GlobalWrite { addr, size } = op {
+                            scratch.gaddrs.push((*addr, *size));
                         }
                     }
                     if !scratch.gaddrs.is_empty() {
@@ -144,12 +145,11 @@ pub(crate) fn align_warp(
                 OpGroup::SharedRead | OpGroup::SharedWrite => {
                     scratch.saddrs.clear();
                     for op in scratch.step_ops.iter().flatten() {
-                        match (group, op) {
-                            (OpGroup::SharedRead, Op::SharedRead { addr })
-                            | (OpGroup::SharedWrite, Op::SharedWrite { addr }) => {
-                                scratch.saddrs.push(*addr);
-                            }
-                            _ => {}
+                        if op.group() != group {
+                            continue;
+                        }
+                        if let Op::SharedRead { addr } | Op::SharedWrite { addr } = op {
+                            scratch.saddrs.push(*addr);
                         }
                     }
                     if !scratch.saddrs.is_empty() {

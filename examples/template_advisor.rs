@@ -77,7 +77,11 @@ fn demo_loop(label: &str, sizes: Vec<usize>) {
         })
         .collect();
     times.sort_by(|a, b| a.1.total_cmp(&b.1));
-    let rank = times.iter().position(|(t, _)| *t == advice.template).unwrap() + 1;
+    let rank = times
+        .iter()
+        .position(|(t, _)| *t == advice.template)
+        .unwrap()
+        + 1;
     println!(
         "sweep: best = {} ({:.3} ms); advisor's pick ranks #{rank} of {}",
         times[0].0,
