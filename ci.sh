@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, build, tests, and the simulator
+# throughput benchmark (fails on a >2x regression against the checked-in
+# crates/bench/BENCH_sim_baseline.json — refresh with
+#   cargo run --release -p npar-bench --bin simbench -- --update-baseline).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
+cargo build --release
+cargo test -q
+cargo run --release -p npar-bench --bin simbench

@@ -25,18 +25,30 @@ pub fn check_level() -> CheckLevel {
     })
 }
 
-/// A K20-configured simulator honouring the `--check` flag. Experiment
-/// binaries construct their simulators through this so one flag covers
-/// every worker thread.
-pub fn gpu() -> Gpu {
-    Gpu::k20().with_check(check_level())
+/// Whether alignment memoization stays enabled. Every experiment binary
+/// accepts `--no-memo` to force the unmemoized simulator, which exists for
+/// differential testing and for measuring the cache itself (`simbench`);
+/// results are bit-identical either way.
+pub fn memo_enabled() -> bool {
+    static MEMO: OnceLock<bool> = OnceLock::new();
+    *MEMO.get_or_init(|| !std::env::args().skip(1).any(|a| a == "--no-memo"))
 }
 
-/// Apply the `--check` flag to an explicitly configured simulator (the
-/// ablation and cross-device binaries build theirs from custom configs).
+/// A K20-configured simulator honouring the command-line flags (`--check`,
+/// `--no-memo`). Experiment binaries construct their simulators through
+/// this so one flag covers every worker thread.
+pub fn gpu() -> Gpu {
+    Gpu::k20()
+        .with_check(check_level())
+        .with_memo(memo_enabled())
+}
+
+/// Apply the command-line flags (`--check`, `--no-memo`) to an explicitly
+/// configured simulator (the ablation and cross-device binaries build
+/// theirs from custom configs).
 #[must_use]
 pub fn with_check_flag(gpu: Gpu) -> Gpu {
-    gpu.with_check(check_level())
+    gpu.with_check(check_level()).with_memo(memo_enabled())
 }
 
 /// Run an experiment on a worker thread with a large stack.

@@ -3,6 +3,7 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
+use crate::memo::{block_key, hash_ops, warp_key, BlockEntry, BlockMemo, WarpEntry};
 use crate::profiler::KernelMetrics;
 use crate::trace::Op;
 use crate::warp::{align_warp, AlignScratch};
@@ -40,6 +41,69 @@ impl BlockOutcome {
     }
 }
 
+/// Align one warp's slices over one segment, consulting the memo cache.
+///
+/// `key` is `Some` when the warp is cacheable: memoization is on and no
+/// lane of the warp (in this segment) launched a child grid. Launch-bearing
+/// warps always align live — their recorded grid ids are run-specific.
+/// Results accumulate into `delta` and `seg` exactly as a live alignment
+/// would: `align_warp` adds each floating-point counter once at its end,
+/// so replaying a stored per-warp delta is bitwise identical.
+#[allow(clippy::too_many_arguments)]
+fn run_warp(
+    slices: &[&[Op]],
+    key: Option<u64>,
+    ops: u64,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    delta: &mut KernelMetrics,
+    scratch: &mut AlignScratch,
+    memo: &mut Option<BlockMemo<'_>>,
+    seg: &mut SegmentTask,
+) {
+    if let (Some(m), Some(key)) = (memo.as_mut(), key) {
+        if let Some(e) = m.cache.warps.get(&key) {
+            m.stats.warp_hits += 1;
+            m.stats.ops_replayed += e.ops;
+            delta.merge(&e.metrics);
+            seg.span = seg.span.max(e.cycles);
+            seg.work += e.cycles;
+            return;
+        }
+        m.stats.warp_misses += 1;
+        if m.cache.warps_full() {
+            // The entry could not be stored anyway: skip the per-warp delta
+            // and align straight into the caller's accumulator. Identical
+            // result — align_warp adds each counter exactly once either way.
+            let outcome = align_warp(slices, device, cost, delta, scratch);
+            debug_assert!(outcome.launches.is_empty(), "cacheable warps never launch");
+            seg.span = seg.span.max(outcome.cycles);
+            seg.work += outcome.cycles;
+            return;
+        }
+        let mut wdelta = KernelMetrics::default();
+        let outcome = align_warp(slices, device, cost, &mut wdelta, scratch);
+        debug_assert!(outcome.launches.is_empty(), "cacheable warps never launch");
+        delta.merge(&wdelta);
+        seg.span = seg.span.max(outcome.cycles);
+        seg.work += outcome.cycles;
+        m.cache.insert_warp(
+            key,
+            WarpEntry {
+                cycles: outcome.cycles,
+                metrics: wdelta,
+                ops,
+            },
+        );
+        return;
+    }
+    let outcome = align_warp(slices, device, cost, delta, scratch);
+    seg.span = seg.span.max(outcome.cycles);
+    seg.work += outcome.cycles;
+    seg.launches
+        .extend(outcome.launches.iter().map(|lp| (lp.grid, lp.offset)));
+}
+
 /// Segment, align and cost one block's traces.
 ///
 /// Caller contract: traces must agree on their barrier sequence. The
@@ -47,17 +111,51 @@ impl BlockOutcome {
 /// barriers as structured diagnostics and sanitizes the traces (divergent
 /// `__syncthreads` is undefined behaviour on real hardware); this function
 /// only debug-asserts the invariant.
+///
+/// `memo` carries the engine's memoization cache plus this block's rolling
+/// fingerprints (`None` disables caching — the hazard checker has already
+/// run either way). A block-level hit short-circuits everything below;
+/// otherwise individual warp segments still hit the warp-level cache.
 pub(crate) fn finalize_block(
     traces: &[Vec<Op>],
     device: &DeviceConfig,
     cost: &CostModel,
     metrics: &mut KernelMetrics,
     scratch: &mut AlignScratch,
+    mut memo: Option<BlockMemo<'_>>,
 ) -> BlockOutcome {
     let nthreads = traces.len();
     assert!(nthreads > 0);
     let warp_size = device.warp_size as usize;
     let warps = nthreads.div_ceil(warp_size) as u32;
+
+    // Block-level cache: when this exact block (by fingerprint + config)
+    // was finalized before, replay its stored outcome and counter delta.
+    // Blocks that launched children are excluded — their outcomes embed
+    // run-specific grid ids.
+    let mut bkey = None;
+    if let Some(m) = memo.as_mut() {
+        debug_assert_eq!(m.fps.lanes.len(), nthreads);
+        if !m.fps.any_launch() {
+            let key = block_key(m.fps, m.cfg);
+            if let Some(e) = m.cache.blocks.get(&key) {
+                m.stats.block_hits += 1;
+                m.stats.ops_replayed += e.ops;
+                metrics.merge(&e.metrics);
+                return e.outcome.clone();
+            }
+            m.stats.block_misses += 1;
+            // A full block cache can't store the entry, so don't make
+            // finish_block clone the outcome and delta for nothing.
+            if !m.cache.blocks_full() {
+                bkey = Some(key);
+            }
+        }
+    }
+    let total_ops: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    // Everything below accumulates into a block-local delta so a future
+    // block-level hit replays the identical contribution.
+    let mut delta = KernelMetrics::default();
 
     // Reference delimiter sequence from lane 0; every lane must match.
     let delims: Vec<Op> = traces[0]
@@ -82,7 +180,7 @@ pub(crate) fn finalize_block(
     // a single segment spanning every full trace, no range bookkeeping.
     if delims.is_empty() {
         let mut seg = SegmentTask::default();
-        for chunk in traces.chunks(warp_size) {
+        for (w, chunk) in traces.chunks(warp_size).enumerate() {
             // Idle warps (no instructions) cost nothing and are common in
             // wide grids whose blocks exit early.
             if chunk.iter().all(|t| t.is_empty()) {
@@ -93,18 +191,37 @@ pub(crate) fn finalize_block(
             for (i, t) in chunk.iter().enumerate() {
                 slices[i] = t.as_slice();
             }
-            let outcome = align_warp(&slices[..chunk.len()], device, cost, metrics, scratch);
-            seg.span = seg.span.max(outcome.cycles);
-            seg.work += outcome.cycles;
-            seg.launches
-                .extend(outcome.launches.iter().map(|lp| (lp.grid, lp.offset)));
+            // Warp key straight from the rolling fingerprints — no
+            // re-hashing on the barrier-free path.
+            let key = memo.as_ref().and_then(|m| {
+                let lanes = &m.fps.lanes[w * warp_size..w * warp_size + chunk.len()];
+                if lanes.iter().any(|f| f.has_launch) {
+                    None
+                } else {
+                    Some(warp_key(lanes.iter().map(|f| f.value())))
+                }
+            });
+            let ops = chunk.iter().map(|t| t.len() as u64).sum();
+            run_warp(
+                &slices[..chunk.len()],
+                key,
+                ops,
+                device,
+                cost,
+                &mut delta,
+                scratch,
+                &mut memo,
+                &mut seg,
+            );
         }
-        metrics.blocks += 1;
-        metrics.threads += nthreads as u64;
-        return BlockOutcome {
+        delta.blocks += 1;
+        delta.threads += nthreads as u64;
+        let out = BlockOutcome {
             warps,
             segments: vec![seg],
         };
+        finish_block(metrics, delta, memo, bkey, &out, total_ops);
+        return out;
     }
 
     // Per-lane segment ranges, flattened into one lane-major buffer.
@@ -129,28 +246,80 @@ pub(crate) fn finalize_block(
         for (w, chunk) in traces.chunks(warp_size).enumerate() {
             let mut slices: [&[Op]; 64] = [EMPTY; 64];
             debug_assert!(chunk.len() <= 64);
+            let mut ops = 0u64;
             for (i, t) in chunk.iter().enumerate() {
                 let (a, b) = ranges[(w * warp_size + i) * nsegs + s];
                 slices[i] = &t[a as usize..b as usize];
+                ops += u64::from(b - a);
             }
-            let outcome = align_warp(&slices[..chunk.len()], device, cost, metrics, scratch);
-            seg.span = seg.span.max(outcome.cycles);
-            seg.work += outcome.cycles;
-            seg.launches
-                .extend(outcome.launches.iter().map(|lp| (lp.grid, lp.offset)));
+            // The rolling fingerprints cover whole traces; segmented
+            // warps re-hash their per-segment slices (one cheap pass,
+            // still far below alignment cost).
+            let key = memo.as_ref().and_then(|m| {
+                let base = m.fps.base.unwrap_or(0);
+                let mut launch = false;
+                let k = warp_key(slices[..chunk.len()].iter().map(|sl| {
+                    let (h, l) = hash_ops(sl, base);
+                    launch |= l;
+                    h
+                }));
+                if launch {
+                    None
+                } else {
+                    Some(k)
+                }
+            });
+            run_warp(
+                &slices[..chunk.len()],
+                key,
+                ops,
+                device,
+                cost,
+                &mut delta,
+                scratch,
+                &mut memo,
+                &mut seg,
+            );
         }
         if s + 1 < nsegs {
             // Barrier cost charged at the end of the segment it closes.
             seg.span += cost.sync_cycles;
             seg.work += cost.sync_cycles * f64::from(warps);
-            metrics.barriers += 1;
+            delta.barriers += 1;
         }
         segments.push(seg);
     }
 
-    metrics.blocks += 1;
-    metrics.threads += nthreads as u64;
-    BlockOutcome { warps, segments }
+    delta.blocks += 1;
+    delta.threads += nthreads as u64;
+    let out = BlockOutcome { warps, segments };
+    finish_block(metrics, delta, memo, bkey, &out, total_ops);
+    out
+}
+
+/// Publish a freshly finalized block: insert it into the block-level cache
+/// (when cacheable) and merge its counter delta into the caller's
+/// accumulator — always via the same single merge, so memoized and live
+/// runs sum the floating-point counters in the same order.
+fn finish_block(
+    metrics: &mut KernelMetrics,
+    delta: KernelMetrics,
+    mut memo: Option<BlockMemo<'_>>,
+    bkey: Option<u64>,
+    out: &BlockOutcome,
+    total_ops: u64,
+) {
+    if let (Some(m), Some(key)) = (memo.as_mut(), bkey) {
+        m.cache.insert_block(
+            key,
+            BlockEntry {
+                outcome: out.clone(),
+                metrics: delta.clone(),
+                ops: total_ops,
+            },
+        );
+    }
+    metrics.merge(&delta);
 }
 
 #[cfg(test)]
@@ -162,7 +331,7 @@ mod tests {
         let cost = CostModel::default();
         let mut metrics = KernelMetrics::default();
         let mut scratch = AlignScratch::default();
-        let out = finalize_block(traces, &device, &cost, &mut metrics, &mut scratch);
+        let out = finalize_block(traces, &device, &cost, &mut metrics, &mut scratch, None);
         (out, metrics)
     }
 

@@ -272,6 +272,12 @@ pub(crate) struct GridAccess {
 /// timing finalization. Always verifies barrier uniformity (sanitizing the
 /// traces on divergence so the timing path never sees mismatched
 /// barriers); the race/bounds/lint passes run only when checking is on.
+///
+/// Runs strictly before any memoization-cache lookup, so Warn/Strict
+/// results are identical with memoization on. Returns `true` when the
+/// traces were rewritten by divergent-barrier sanitization — the caller
+/// must then skip the cache, whose fingerprints describe the original
+/// traces.
 pub(crate) fn scan_block(
     st: &mut CheckState,
     traces: &mut [Vec<Op>],
@@ -280,7 +286,7 @@ pub(crate) fn scan_block(
     block: u32,
     cfg: &LaunchConfig,
     gaccess: &mut GridAccess,
-) {
+) -> bool {
     if let Some(details) = synccheck::barrier_divergence(traces) {
         st.record_fatal(Hazard {
             kind: HazardKind::DivergentBarrier,
@@ -290,16 +296,17 @@ pub(crate) fn scan_block(
             details,
         });
         synccheck::sanitize_divergent(traces);
-        return;
+        return true;
     }
     if st.level == CheckLevel::Off {
-        return;
+        return false;
     }
     memcheck::scan_shared_bounds(st, traces, kernel, grid, block, cfg);
     let (nsegs, ranges, delims) = segment_ranges(traces);
     racecheck::scan_shared_races(st, traces, &ranges, nsegs, kernel, grid, block);
     racecheck::collect_global(traces, block, gaccess);
     synccheck::scan_unjoined_reads(st, traces, &ranges, &delims, nsegs, kernel, grid, block);
+    false
 }
 
 /// Cross-block analysis once every block of a grid has executed: sweep the

@@ -61,6 +61,11 @@ pub struct DeviceConfig {
     /// Hazard-checker severity (see [`crate::check`]). `Off` by default —
     /// like running without `cuda-memcheck`.
     pub check: CheckLevel,
+    /// Whether the simulator memoizes warp/block alignment by trace
+    /// fingerprint (see [`crate::profiler::SimStats`] and DESIGN.md §8).
+    /// Purely a host-side speedup: reports are bit-identical either way.
+    /// On by default; `--no-memo` / [`crate::Gpu::with_memo`] disable it.
+    pub memo: bool,
 }
 
 impl DeviceConfig {
@@ -85,6 +90,7 @@ impl DeviceConfig {
             shared_banks: 32,
             pending_launch_limit: 2048,
             check: CheckLevel::Off,
+            memo: true,
         }
     }
 
@@ -121,6 +127,7 @@ impl DeviceConfig {
             shared_banks: 32,
             pending_launch_limit: 64,
             check: CheckLevel::Off,
+            memo: true,
         }
     }
 

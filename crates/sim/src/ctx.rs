@@ -10,6 +10,7 @@
 use crate::engine::{register_grid, run_subtree, Engine, Origin};
 use crate::handle::GBuf;
 use crate::kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream};
+use crate::memo::{BlockFps, Fingerprint};
 use crate::trace::Op;
 
 /// Context for one thread block of a running kernel.
@@ -19,6 +20,10 @@ pub struct BlockCtx<'e> {
     block_idx: u32,
     cfg: LaunchConfig,
     traces: Vec<Vec<Op>>,
+    /// Rolling per-thread trace fingerprints (see [`crate::memo`]),
+    /// maintained alongside the traces so memoization keys cost one hash
+    /// step per recorded op instead of a post-hoc pass.
+    fps: BlockFps,
     state: BlockState,
     /// Child grids launched by this block and not yet joined.
     pending: Vec<usize>,
@@ -38,19 +43,22 @@ impl<'e> BlockCtx<'e> {
         }
         traces.resize_with(cfg.block_dim as usize, Vec::new);
         traces.truncate(cfg.block_dim as usize);
+        let mut fps = std::mem::take(&mut engine.fp_pool);
+        fps.reset(cfg.block_dim as usize);
         BlockCtx {
             engine,
             grid_id,
             block_idx,
             cfg,
             traces,
+            fps,
             state: kernel.block_state(block_idx),
             pending: Vec::new(),
         }
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<Vec<Op>>, Vec<usize>) {
-        (self.traces, self.pending)
+    pub(crate) fn into_parts(self) -> (Vec<Vec<Op>>, BlockFps, Vec<usize>) {
+        (self.traces, self.fps, self.pending)
     }
 
     /// Index of this block within its grid.
@@ -73,10 +81,13 @@ impl<'e> BlockCtx<'e> {
     /// Call it several times with [`BlockCtx::sync`] in between to express
     /// barrier-separated phases.
     pub fn for_each_thread(&mut self, mut f: impl FnMut(&mut ThreadCtx<'_, '_>)) {
+        let BlockFps { lanes, base } = &mut self.fps;
         for t in 0..self.cfg.block_dim {
             let mut ctx = ThreadCtx {
                 engine: &mut *self.engine,
                 trace: &mut self.traces[t as usize],
+                fp: &mut lanes[t as usize],
+                canon: &mut *base,
                 state: &mut self.state,
                 pending: &mut self.pending,
                 grid_id: self.grid_id,
@@ -98,6 +109,8 @@ impl<'e> BlockCtx<'e> {
         let mut ctx = ThreadCtx {
             engine: &mut *self.engine,
             trace: &mut self.traces[0],
+            fp: &mut self.fps.lanes[0],
+            canon: &mut self.fps.base,
             state: &mut self.state,
             pending: &mut self.pending,
             grid_id: self.grid_id,
@@ -115,6 +128,9 @@ impl<'e> BlockCtx<'e> {
         for t in &mut self.traces {
             t.push(Op::Sync);
         }
+        for fp in &mut self.fps.lanes {
+            fp.record(Op::Sync, 0);
+        }
     }
 
     /// Block-wide barrier that additionally waits for every child grid this
@@ -130,6 +146,9 @@ impl<'e> BlockCtx<'e> {
         }
         for t in &mut self.traces {
             t.push(Op::SyncChildren);
+        }
+        for fp in &mut self.fps.lanes {
+            fp.record(Op::SyncChildren, 0);
         }
     }
 
@@ -147,6 +166,10 @@ impl<'e> BlockCtx<'e> {
 pub struct ThreadCtx<'b, 'e> {
     engine: &'b mut Engine,
     trace: &'b mut Vec<Op>,
+    fp: &'b mut Fingerprint,
+    /// The block's canonical global-address base (shared by all threads;
+    /// set by the block's first global access). See [`crate::memo`].
+    canon: &'b mut Option<u64>,
     state: &'b mut BlockState,
     pending: &'b mut Vec<usize>,
     grid_id: usize,
@@ -199,6 +222,7 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
         if n == 0 {
             return;
         }
+        self.fp.compute(n);
         if let Some(Op::Compute(last)) = self.trace.last_mut() {
             *last += n;
         } else {
@@ -206,39 +230,61 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
         }
     }
 
+    /// Canonical base for fingerprinting global addresses: the block's
+    /// first global access, rounded down to the transaction line. Timing is
+    /// invariant under line-aligned shifts of the block's whole access set,
+    /// so structurally identical blocks at shifted addresses share keys.
+    #[inline]
+    fn canon_base(&mut self, addr: u64) -> u64 {
+        let line = u64::from(self.engine.device.mem_transaction_bytes);
+        *self.canon.get_or_insert(addr & !(line - 1))
+    }
+
     /// Record a global-memory load of element `i` of `buf`.
     pub fn ld<T>(&mut self, buf: &GBuf<T>, i: usize) {
-        self.trace.push(Op::GlobalRead {
+        let op = Op::GlobalRead {
             addr: buf.addr(i),
             size: buf.elem_bytes(),
-        });
+        };
+        let base = self.canon_base(buf.addr(i));
+        self.fp.record(op, base);
+        self.trace.push(op);
     }
 
     /// Record a global-memory store to element `i` of `buf`.
     pub fn st<T>(&mut self, buf: &GBuf<T>, i: usize) {
-        self.trace.push(Op::GlobalWrite {
+        let op = Op::GlobalWrite {
             addr: buf.addr(i),
             size: buf.elem_bytes(),
-        });
+        };
+        let base = self.canon_base(buf.addr(i));
+        self.fp.record(op, base);
+        self.trace.push(op);
     }
 
     /// Record a global-memory atomic on element `i` of `buf`.
     pub fn atomic<T>(&mut self, buf: &GBuf<T>, i: usize) {
-        self.trace.push(Op::AtomicGlobal { addr: buf.addr(i) });
+        let op = Op::AtomicGlobal { addr: buf.addr(i) };
+        let base = self.canon_base(buf.addr(i));
+        self.fp.record(op, base);
+        self.trace.push(op);
     }
 
     /// Record a shared-memory load at byte offset `addr`.
     pub fn shared_ld(&mut self, addr: u32) {
+        self.fp.record(Op::SharedRead { addr }, 0);
         self.trace.push(Op::SharedRead { addr });
     }
 
     /// Record a shared-memory store at byte offset `addr`.
     pub fn shared_st(&mut self, addr: u32) {
+        self.fp.record(Op::SharedWrite { addr }, 0);
         self.trace.push(Op::SharedWrite { addr });
     }
 
     /// Record a shared-memory atomic at byte offset `addr`.
     pub fn shared_atomic(&mut self, addr: u32) {
+        self.fp.record(Op::AtomicShared { addr }, 0);
         self.trace.push(Op::AtomicShared { addr });
     }
 
@@ -289,9 +335,13 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
             },
         );
         self.pending.push(child);
-        self.trace.push(Op::Launch {
+        let op = Op::Launch {
             grid: u32::try_from(child).expect("grid id overflow"),
-        });
+        };
+        // Recorded only for launches that actually happen: a rejected
+        // launch leaves neither a trace op nor a fingerprint mark.
+        self.fp.record(op, 0);
+        self.trace.push(op);
     }
 
     /// Access the block state created by [`Kernel::block_state`].

@@ -93,6 +93,34 @@ impl Gpu {
         self.engine.check.level
     }
 
+    /// Enable or disable alignment memoization (see DESIGN.md §8). On by
+    /// default; the cache is a pure host-side speedup — reports are
+    /// bit-identical with it on or off — so disabling it is only useful
+    /// for differential testing and benchmarking. Disabling drops any
+    /// accumulated cache entries.
+    pub fn set_memo(&mut self, enabled: bool) {
+        self.engine.device.memo = enabled;
+        if enabled {
+            if self.engine.memo.is_none() {
+                self.engine.memo = Some(Default::default());
+            }
+        } else {
+            self.engine.memo = None;
+        }
+    }
+
+    /// Builder-style [`Gpu::set_memo`].
+    #[must_use]
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        self.set_memo(enabled);
+        self
+    }
+
+    /// Whether alignment memoization is currently enabled.
+    pub fn memo_enabled(&self) -> bool {
+        self.engine.memo.is_some()
+    }
+
     /// Drain the hazards recorded since the last drain (or synchronize).
     /// Useful under [`CheckLevel::Warn`], where launches keep succeeding.
     pub fn take_check_report(&mut self) -> CheckReport {
@@ -134,8 +162,10 @@ impl Gpu {
         };
         let seq = self.engine.host_seq;
         self.engine.host_seq += 1;
+        let t0 = std::time::Instant::now();
         register_grid(&mut self.engine, &kernel, cfg, Origin::Host { seq, stream });
         check::resolve_lints(&mut self.engine);
+        self.engine.stats.wall_seconds += t0.elapsed().as_secs_f64();
         let st = &mut self.engine.check;
         if st.is_fatal() || (st.level == CheckLevel::Strict && st.has_hazards()) {
             return Err(SimError::Hazard(st.take_report()));
@@ -146,7 +176,9 @@ impl Gpu {
     /// Finish the pending batch: run the timing simulation over everything
     /// launched since the previous synchronize and return its [`Report`].
     pub fn synchronize(&mut self) -> Report {
+        let t0 = std::time::Instant::now();
         let timing = simulate(&self.engine.grids, &self.engine.device, &self.engine.cost);
+        self.engine.stats.wall_seconds += t0.elapsed().as_secs_f64();
         let host_launches = self
             .engine
             .grids
@@ -168,6 +200,7 @@ impl Gpu {
             device_launches,
             overflow_launches: timing.overflow_launches,
             hazards,
+            sim: std::mem::take(&mut self.engine.stats),
             kernels,
         }
     }

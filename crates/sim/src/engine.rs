@@ -12,7 +12,8 @@ use crate::cost::CostModel;
 use crate::ctx::BlockCtx;
 use crate::error::SimError;
 use crate::kernel::{KernelRef, LaunchConfig};
-use crate::profiler::KernelMetrics;
+use crate::memo::{BlockFps, BlockMemo, MemoCache};
+use crate::profiler::{KernelMetrics, SimStats};
 use crate::warp::AlignScratch;
 
 /// Where a grid was launched from.
@@ -56,6 +57,16 @@ pub(crate) struct Engine {
     /// Recycled per-thread trace buffers (capacity survives across blocks,
     /// which keeps millions of small blocks allocation-free).
     pub trace_pool: Vec<Vec<crate::trace::Op>>,
+    /// Recycled per-thread fingerprint state (same lifecycle as
+    /// `trace_pool`).
+    pub fp_pool: BlockFps,
+    /// Alignment memoization cache (see [`crate::memo`]); `None` when
+    /// disabled. Survives synchronize — entries are content-keyed and
+    /// carry no batch-local state.
+    pub memo: Option<MemoCache>,
+    /// Host-side statistics for the current batch (wall time, cache
+    /// hits/misses); drained into [`crate::profiler::Report::sim`].
+    pub stats: SimStats,
     /// Hazard-checker state (see [`crate::check`]).
     pub check: CheckState,
 }
@@ -63,6 +74,7 @@ pub(crate) struct Engine {
 impl Engine {
     pub(crate) fn new(device: DeviceConfig, cost: CostModel) -> Self {
         let check = CheckState::new(device.check);
+        let memo = device.memo.then(MemoCache::default);
         Engine {
             device,
             cost,
@@ -71,6 +83,9 @@ impl Engine {
             host_seq: 0,
             scratch: AlignScratch::default(),
             trace_pool: Vec::new(),
+            fp_pool: BlockFps::default(),
+            memo,
+            stats: SimStats::default(),
             check,
         }
     }
@@ -143,32 +158,65 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
     // nested grids executed mid-block (a parent joining children) re-enter
     // this function with their own accumulator on the stack.
     let mut gaccess = GridAccess::default();
+    // Per-grid metrics accumulator, merged into the per-kernel entry once
+    // at the end — no per-block map lookup or name clone. The same
+    // delta-then-merge grouping is used with memoization on and off, so
+    // the floating-point sums land bit-identically in both modes.
+    let mut grid_metrics = KernelMetrics::default();
     for b in 0..cfg.grid_dim {
         let mut blk = BlockCtx::new(engine, kernel.as_ref(), id, b, cfg);
         kernel.run_block(&mut blk);
-        let (mut traces, pending) = blk.into_parts();
+        let (mut traces, fps, pending) = blk.into_parts();
         // Split-borrow the engine so alignment can stream into the metrics
         // accumulator while reading the device/cost config.
         let Engine {
             device,
             cost,
-            metrics,
             scratch,
             grids,
             check,
+            memo,
+            stats,
             ..
         } = engine;
-        check::scan_block(check, &mut traces, &name, id, b, &cfg, &mut gaccess);
-        let m = metrics.entry(name.clone()).or_default();
-        let outcome = finalize_block(&traces, device, cost, m, scratch);
+        // The checker sees the raw traces BEFORE any cache consultation,
+        // so Warn/Strict diagnostics are identical with memoization on.
+        let sanitized = check::scan_block(check, &mut traces, &name, id, b, &cfg, &mut gaccess);
+        stats.ops_traced += traces.iter().map(|t| t.len() as u64).sum::<u64>();
+        // Sanitized (divergent-barrier) blocks bypass the cache: their
+        // fingerprints describe the pre-sanitization traces.
+        let block_memo = if sanitized {
+            None
+        } else {
+            memo.as_mut().map(|cache| BlockMemo {
+                cache,
+                fps: &fps,
+                cfg: &cfg,
+                stats,
+            })
+        };
+        let outcome = finalize_block(
+            &traces,
+            device,
+            cost,
+            &mut grid_metrics,
+            scratch,
+            block_memo,
+        );
         grids[id].blocks.push(outcome);
+        // `children` is sorted by construction (grid ids are assigned in
+        // increasing order), so each pending launch checks in O(log n).
         debug_assert!(
-            pending.is_empty() || grids[id].children.iter().any(|c| pending.contains(c)),
+            pending
+                .iter()
+                .all(|c| grids[id].children.binary_search(c).is_ok()),
             "pending launches must be registered children"
         );
         engine.trace_pool = traces;
+        engine.fp_pool = fps;
     }
     check::finish_grid(&mut engine.check, &name, id, gaccess);
+    engine.metrics.entry(name).or_default().merge(&grid_metrics);
 }
 
 /// Drive a host-launched grid and its whole descendant tree to functional

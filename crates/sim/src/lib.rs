@@ -40,6 +40,7 @@ mod engine;
 mod error;
 mod handle;
 mod kernel;
+mod memo;
 mod memory;
 pub mod occupancy;
 pub mod profiler;
@@ -56,4 +57,4 @@ pub use device::Gpu;
 pub use error::SimError;
 pub use handle::{GBuf, GlobalAllocator};
 pub use kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream, ThreadKernel};
-pub use profiler::{KernelMetrics, Report};
+pub use profiler::{KernelMetrics, Report, SimStats};

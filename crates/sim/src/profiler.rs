@@ -104,6 +104,51 @@ fn ratio_bytes(requested: u64, transactions: u64) -> f64 {
     }
 }
 
+/// Simulator-side (host) execution statistics for one batch: wall time and
+/// alignment-memoization behaviour (see DESIGN.md §8). Purely
+/// observational — two runs that differ only in this section model
+/// identical GPU executions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Host wall-clock seconds spent executing and timing the batch.
+    pub wall_seconds: f64,
+    /// Warp-segment alignments served from the memo cache.
+    pub warp_hits: u64,
+    /// Warp-segment alignments computed from scratch (cacheable misses).
+    pub warp_misses: u64,
+    /// Whole blocks short-circuited by the block-level cache.
+    pub block_hits: u64,
+    /// Blocks that went through full finalization (cacheable misses).
+    pub block_misses: u64,
+    /// Ops recorded into traces by functional execution.
+    pub ops_traced: u64,
+    /// Ops whose timing was replayed from the cache instead of aligned.
+    pub ops_replayed: u64,
+}
+
+impl SimStats {
+    /// Merge another batch's statistics into this one.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.wall_seconds += other.wall_seconds;
+        self.warp_hits += other.warp_hits;
+        self.warp_misses += other.warp_misses;
+        self.block_hits += other.block_hits;
+        self.block_misses += other.block_misses;
+        self.ops_traced += other.ops_traced;
+        self.ops_replayed += other.ops_replayed;
+    }
+
+    /// Fraction of ops whose timing came from the cache.
+    pub fn replay_fraction(&self) -> f64 {
+        let total = self.ops_traced;
+        if total == 0 {
+            0.0
+        } else {
+            self.ops_replayed as f64 / total as f64
+        }
+    }
+}
+
 /// Execution report for one synchronized batch of kernel launches:
 /// wall-clock model plus per-kernel profiling counters.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -128,6 +173,9 @@ pub struct Report {
     /// ones beyond the recording cap); see [`crate::check`]. Always zero
     /// at [`crate::check::CheckLevel::Off`].
     pub hazards: u64,
+    /// Host-side simulator statistics (wall time, memo-cache behaviour).
+    /// Observational only: everything above is independent of it.
+    pub sim: SimStats,
     /// Per-kernel-name metrics.
     pub kernels: BTreeMap<String, KernelMetrics>,
 }
@@ -175,6 +223,7 @@ impl Report {
         self.device_launches += other.device_launches;
         self.overflow_launches += other.overflow_launches;
         self.hazards += other.hazards;
+        self.sim.merge(&other.sim);
         for (name, m) in &other.kernels {
             self.kernels.entry(name.clone()).or_default().merge(m);
         }
@@ -198,6 +247,21 @@ impl fmt::Display for Report {
         )?;
         if self.hazards > 0 {
             writeln!(f, "hazards: {} (see the check report)", self.hazards)?;
+        }
+        if self.sim.ops_traced > 0 {
+            writeln!(
+                f,
+                "sim: {:.1} ms host | {} ops traced, {} replayed from cache \
+                 ({:.1}%) | warp cache {}/{} | block cache {}/{}",
+                self.sim.wall_seconds * 1e3,
+                self.sim.ops_traced,
+                self.sim.ops_replayed,
+                self.sim.replay_fraction() * 100.0,
+                self.sim.warp_hits,
+                self.sim.warp_hits + self.sim.warp_misses,
+                self.sim.block_hits,
+                self.sim.block_hits + self.sim.block_misses,
+            )?;
         }
         writeln!(
             f,
@@ -283,6 +347,36 @@ mod tests {
         a.merge(&b);
         assert!((a.achieved_occupancy - 0.8).abs() < 1e-12);
         assert_eq!(a.cycles, 400.0);
+    }
+
+    #[test]
+    fn sim_stats_merge_and_display() {
+        let mut a = SimStats {
+            wall_seconds: 0.5,
+            warp_hits: 3,
+            warp_misses: 1,
+            block_hits: 2,
+            block_misses: 2,
+            ops_traced: 100,
+            ops_replayed: 60,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.warp_hits, 6);
+        assert_eq!(a.ops_traced, 200);
+        assert!((a.wall_seconds - 1.0).abs() < 1e-12);
+        assert!((a.replay_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(SimStats::default().replay_fraction(), 0.0);
+
+        let r = Report {
+            sim: a,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("replayed from cache"));
+        assert!(s.contains("warp cache 6/8"));
+        // A report with no traced ops keeps the sim line out entirely.
+        assert!(!Report::default().to_string().contains("replayed"));
     }
 
     #[test]

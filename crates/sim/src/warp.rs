@@ -38,7 +38,6 @@ pub(crate) struct WarpOutcome {
 #[derive(Debug, Default)]
 pub(crate) struct AlignScratch {
     positions: Vec<usize>,
-    step_ops: Vec<Option<Op>>,
     gaddrs: Vec<(u64, u8)>,
     aaddrs: Vec<u64>,
     saddrs: Vec<u32>,
@@ -65,42 +64,40 @@ pub(crate) fn align_warp(
 
     scratch.positions.clear();
     scratch.positions.resize(n, 0);
-    scratch.step_ops.clear();
-    scratch.step_ops.resize(n, None);
 
     let mut out = WarpOutcome::default();
     let mut issue_slots = 0.0f64;
     let mut active_slots = 0.0f64;
 
     loop {
-        // Snapshot the current op of every unfinished lane.
-        let mut any = false;
-        for (l, lane) in lanes.iter().enumerate() {
-            let pos = scratch.positions[l];
-            scratch.step_ops[l] = if pos < lane.len() {
-                any = true;
-                let op = lane[pos];
+        // One pass over the unfinished lanes collects which issue groups
+        // the step contains as a bitmask — no per-lane `Option<Op>`
+        // snapshot; the group branches below re-read the ops directly.
+        let mut mask = 0u16;
+        for (pos, lane) in scratch.positions.iter().zip(lanes) {
+            if let Some(&op) = lane.get(*pos) {
                 debug_assert!(
                     !op.is_delimiter(),
                     "delimiters must be stripped before alignment"
                 );
-                Some(op)
-            } else {
-                None
-            };
+                mask |= 1 << op.group() as u8;
+            }
         }
-        if !any {
+        if mask == 0 {
             break;
         }
 
         // Issue each populated group in deterministic order.
         for group in ISSUE_GROUPS {
+            if mask & (1 << group as u8) == 0 {
+                continue;
+            }
             match group {
                 OpGroup::Compute => {
                     let mut max_n = 0u32;
                     let mut sum_n = 0u64;
-                    for op in scratch.step_ops.iter().flatten() {
-                        if let Op::Compute(k) = op {
+                    for (pos, lane) in scratch.positions.iter().zip(lanes) {
+                        if let Some(Op::Compute(k)) = lane.get(*pos) {
                             max_n = max_n.max(*k);
                             sum_n += u64::from(*k);
                         }
@@ -115,7 +112,10 @@ pub(crate) fn align_warp(
                     // Membership comes from the shared Op::group dispatch
                     // (the hazard checker classifies accesses the same way).
                     scratch.gaddrs.clear();
-                    for op in scratch.step_ops.iter().flatten() {
+                    for (pos, lane) in scratch.positions.iter().zip(lanes) {
+                        let Some(op) = lane.get(*pos) else {
+                            continue;
+                        };
                         if op.group() != group {
                             continue;
                         }
@@ -144,7 +144,10 @@ pub(crate) fn align_warp(
                 }
                 OpGroup::SharedRead | OpGroup::SharedWrite => {
                     scratch.saddrs.clear();
-                    for op in scratch.step_ops.iter().flatten() {
+                    for (pos, lane) in scratch.positions.iter().zip(lanes) {
+                        let Some(op) = lane.get(*pos) else {
+                            continue;
+                        };
                         if op.group() != group {
                             continue;
                         }
@@ -167,8 +170,8 @@ pub(crate) fn align_warp(
                 }
                 OpGroup::AtomicGlobal => {
                     scratch.aaddrs.clear();
-                    for op in scratch.step_ops.iter().flatten() {
-                        if let Op::AtomicGlobal { addr } = op {
+                    for (pos, lane) in scratch.positions.iter().zip(lanes) {
+                        if let Some(Op::AtomicGlobal { addr }) = lane.get(*pos) {
                             scratch.aaddrs.push(*addr);
                         }
                     }
@@ -195,8 +198,8 @@ pub(crate) fn align_warp(
                 }
                 OpGroup::AtomicShared => {
                     scratch.aaddrs.clear();
-                    for op in scratch.step_ops.iter().flatten() {
-                        if let Op::AtomicShared { addr } = op {
+                    for (pos, lane) in scratch.positions.iter().zip(lanes) {
+                        if let Some(Op::AtomicShared { addr }) = lane.get(*pos) {
                             scratch.aaddrs.push(u64::from(*addr));
                         }
                     }
@@ -213,8 +216,8 @@ pub(crate) fn align_warp(
                 }
                 OpGroup::Launch => {
                     // Device-side launches serialize lane by lane.
-                    for op in scratch.step_ops.iter().flatten() {
-                        if let Op::Launch { grid } = op {
+                    for (pos, lane) in scratch.positions.iter().zip(lanes) {
+                        if let Some(Op::Launch { grid }) = lane.get(*pos) {
                             out.cycles += cost.device_launch_issue_cycles;
                             issue_slots += warp;
                             active_slots += 1.0;
@@ -230,9 +233,9 @@ pub(crate) fn align_warp(
             }
         }
 
-        for l in 0..n {
-            if scratch.step_ops[l].is_some() {
-                scratch.positions[l] += 1;
+        for (pos, lane) in scratch.positions.iter_mut().zip(lanes) {
+            if *pos < lane.len() {
+                *pos += 1;
             }
         }
     }
