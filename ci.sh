@@ -10,4 +10,6 @@ cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+cargo test -q --doc --workspace
 cargo run --release -p npar-bench --bin simbench

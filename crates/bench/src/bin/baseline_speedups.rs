@@ -7,7 +7,7 @@
 use npar_apps::{bc, pagerank, spmv, sssp};
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
-use npar_sim::CpuConfig;
+use npar_sim::{CpuConfig, StallCycles};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -17,6 +17,8 @@ struct Row {
     gpu_seconds: f64,
     speedup: f64,
     paper_speedup: f64,
+    /// npar-prof stall attribution for the whole run (raw cycles).
+    stalls: StallCycles,
 }
 
 fn main() {
@@ -34,7 +36,21 @@ fn main() {
             table::fx(r.paper_speedup),
         ]);
     }
-    results::save("baseline_speedups", &[t], &rows);
+    // Where the baselines spend their cycles — the stall shares explain the
+    // speedup deviations from the paper (EXPERIMENTS.md discusses SpMV).
+    let mut s = table::Table::new(
+        "Baseline stall attribution, % of attributed cycles",
+        &[
+            "app", "compute", "diverge", "gmem", "shared", "atomic", "launch", "barrier",
+        ],
+    );
+    for r in &rows {
+        let total = r.stalls.total().max(f64::MIN_POSITIVE);
+        let mut cells = vec![r.app.clone()];
+        cells.extend(r.stalls.named().iter().map(|(_, c)| table::pct(c / total)));
+        s.row(cells);
+    }
+    results::save("baseline_speedups", &[t, s], &rows);
 }
 
 fn run() -> Vec<Row> {
@@ -49,12 +65,14 @@ fn run() -> Vec<Row> {
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
         let mut gpu = runner::gpu();
         let r = sssp::sssp_gpu(&mut gpu, &g, 0, LoopTemplate::ThreadMapped, &params);
+        runner::export_profile(&mut gpu, "baseline_sssp");
         rows.push(Row {
             app: "SSSP".into(),
             cpu_seconds: cpu_s,
             gpu_seconds: r.report.seconds,
             speedup: cpu_s / r.report.seconds,
             paper_speedup: 8.2,
+            stalls: r.report.total().stalls,
         });
     }
 
@@ -66,12 +84,14 @@ fn run() -> Vec<Row> {
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
         let mut gpu = runner::gpu();
         let r = bc::bc_gpu(&mut gpu, &g, &sources, LoopTemplate::ThreadMapped, &params);
+        runner::export_profile(&mut gpu, "baseline_bc");
         rows.push(Row {
             app: "BC".into(),
             cpu_seconds: cpu_s,
             gpu_seconds: r.report.seconds,
             speedup: cpu_s / r.report.seconds,
             paper_speedup: 2.5,
+            stalls: r.report.total().stalls,
         });
     }
 
@@ -82,12 +102,14 @@ fn run() -> Vec<Row> {
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
         let mut gpu = runner::gpu();
         let r = pagerank::pagerank_gpu(&mut gpu, &g, 5, LoopTemplate::ThreadMapped, &params);
+        runner::export_profile(&mut gpu, "baseline_pagerank");
         rows.push(Row {
             app: "PageRank".into(),
             cpu_seconds: cpu_s,
             gpu_seconds: r.report.seconds,
             speedup: cpu_s / r.report.seconds,
             paper_speedup: 15.8,
+            stalls: r.report.total().stalls,
         });
     }
 
@@ -99,12 +121,14 @@ fn run() -> Vec<Row> {
         let cpu_s = counter.seconds(&npar_sim::CostModel::default().cpu, &cpu_cfg);
         let mut gpu = runner::gpu();
         let r = spmv::spmv_gpu(&mut gpu, &g, &x, LoopTemplate::ThreadMapped, &params);
+        runner::export_profile(&mut gpu, "baseline_spmv");
         rows.push(Row {
             app: "SpMV".into(),
             cpu_seconds: cpu_s,
             gpu_seconds: r.report.seconds,
             speedup: cpu_s / r.report.seconds,
             paper_speedup: 2.4,
+            stalls: r.report.total().stalls,
         });
     }
 

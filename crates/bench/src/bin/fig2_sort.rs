@@ -41,6 +41,7 @@ fn main() {
             let data: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
             let mut gpu = runner::gpu();
             let r = sort_gpu(&mut gpu, &data, algo, &SortParams::default());
+            runner::export_profile(&mut gpu, &format!("fig2_{}_{n}", algo.label()));
             let mut sorted = data;
             sorted.sort_unstable();
             assert_eq!(r.data, sorted, "{} mis-sorted", algo.label());

@@ -27,13 +27,15 @@ fn main() {
         let g = g.clone();
         move || {
             let mut gpu = runner::gpu();
-            sssp::sssp_gpu(
+            let r = sssp::sssp_gpu(
                 &mut gpu,
                 &g,
                 0,
                 LoopTemplate::ThreadMapped,
                 &LoopParams::default(),
-            )
+            );
+            runner::export_profile(&mut gpu, "fig5_sssp_thread-mapped");
+            r
         }
     });
     println!(
@@ -56,6 +58,7 @@ fn main() {
         runner::with_big_stack(move || {
             let mut gpu = runner::gpu();
             let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(lb));
+            runner::export_profile(&mut gpu, &format!("fig5_sssp_{template}_lb{lb}"));
             Row {
                 template: template.to_string(),
                 lb_thres: lb,

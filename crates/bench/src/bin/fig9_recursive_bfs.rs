@@ -99,6 +99,7 @@ fn one_range(n: usize, range: (u32, u32)) -> Row {
             LoopTemplate::ThreadMapped,
             &LoopParams::default(),
         );
+        runner::export_profile(&mut gpu, &format!("fig9_flat_deg{}", range.1));
         variants.push((
             "flat".to_string(),
             r.report.seconds,
@@ -115,6 +116,7 @@ fn one_range(n: usize, range: (u32, u32)) -> Row {
     ] {
         let mut gpu = runner::gpu();
         let r = bfs::bfs_recursive_gpu(&mut gpu, &g, 0, variant, streams);
+        runner::export_profile(&mut gpu, &format!("fig9_{label}_deg{}", range.1));
         variants.push((
             label.to_string(),
             r.report.seconds,

@@ -1,10 +1,13 @@
 //! Table I: profiling data collected on SSSP at lbTHRES = 32 — warp
 //! execution efficiency, global load efficiency and global store
-//! efficiency for the baseline and every load-balancing template.
+//! efficiency for the baseline and every load-balancing template, plus the
+//! npar-prof stall attribution (where each template's cycles went). Run
+//! with `--profile` to also export per-template Chrome traces.
 
 use npar_apps::sssp;
 use npar_bench::{datasets, results, runner, table};
 use npar_core::{LoopParams, LoopTemplate};
+use npar_sim::StallCycles;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -16,6 +19,8 @@ struct Row {
     paper_warp: f64,
     paper_gld: f64,
     paper_gst: f64,
+    /// Raw stall-attribution cycles (see `npar_sim::StallCycles`).
+    stalls: StallCycles,
 }
 
 fn main() {
@@ -42,6 +47,7 @@ fn main() {
         runner::with_big_stack(move || {
             let mut gpu = runner::gpu();
             let r = sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32));
+            runner::export_profile(&mut gpu, &format!("table1_sssp_{template}"));
             // Profile the template's own kernels like the paper's nvprof
             // tables; the shared (uniform, fully coalesced) update kernel
             // would dilute every column.
@@ -59,6 +65,7 @@ fn main() {
                 paper_warp: p.1,
                 paper_gld: p.2,
                 paper_gst: p.3,
+                stalls: m.stalls,
             }
         })
     });
@@ -80,5 +87,20 @@ fn main() {
             table::pct(r.paper_gst),
         ]);
     }
-    results::save("table1_sssp_profile", &[t], &rows);
+
+    // npar-prof stall attribution: where each template's cycles go, as
+    // shares of the attributed total (compute + ... + barrier).
+    let mut s = table::Table::new(
+        "Table I (cont.) — stall attribution, % of attributed cycles",
+        &[
+            "template", "compute", "diverge", "gmem", "shared", "atomic", "launch", "barrier",
+        ],
+    );
+    for r in &rows {
+        let total = r.stalls.total().max(f64::MIN_POSITIVE);
+        let mut cells = vec![r.template.clone()];
+        cells.extend(r.stalls.named().iter().map(|(_, c)| table::pct(c / total)));
+        s.row(cells);
+    }
+    results::save("table1_sssp_profile", &[t, s], &rows);
 }

@@ -1,5 +1,6 @@
 //! Execution helpers for the experiment binaries.
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::thread;
 
@@ -34,21 +35,86 @@ pub fn memo_enabled() -> bool {
     *MEMO.get_or_init(|| !std::env::args().skip(1).any(|a| a == "--no-memo"))
 }
 
+/// The `--profile[=<path>]` command-line flag. Every experiment binary
+/// accepts `--profile` to enable the npar-prof timeline profiler (see
+/// `npar_sim::prof`) and export a Chrome-trace JSON per simulated run into
+/// `results/profile_<tag>.trace.json`, or `--profile=<path>` to name the
+/// output file explicitly (when a binary profiles several runs, each export
+/// then overwrites the previous one — the last run wins). Reported numbers
+/// are bit-identical with and without the flag; profiling is observational.
+fn profile_flag() -> Option<&'static str> {
+    static FLAG: OnceLock<Option<Option<String>>> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let mut flag = None;
+        for arg in std::env::args().skip(1) {
+            if arg == "--profile" {
+                flag = Some(None);
+            } else if let Some(path) = arg.strip_prefix("--profile=") {
+                flag = Some(Some(path.to_string()));
+            }
+        }
+        flag
+    })
+    .as_ref()
+    .map(|path| path.as_deref().unwrap_or(""))
+}
+
+/// Whether `--profile[=<path>]` was passed.
+pub fn profiling() -> bool {
+    profile_flag().is_some()
+}
+
+/// Export the timeline recorded by `gpu` (if `--profile` is active and the
+/// run produced one) as Chrome-trace JSON, and print the per-kernel summary.
+/// `tag` names the default output file; it is sanitized to
+/// `results/profile_<tag>.trace.json`. Load the file in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing` — see PROFILING.md.
+pub fn export_profile(gpu: &mut Gpu, tag: &str) {
+    let Some(explicit) = profile_flag() else {
+        return;
+    };
+    let profile = gpu.take_profile();
+    if profile.is_empty() {
+        return;
+    }
+    let path = if explicit.is_empty() {
+        let tag: String = tag
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        crate::results::results_dir().join(format!("profile_{tag}.trace.json"))
+    } else {
+        PathBuf::from(explicit)
+    };
+    std::fs::write(&path, profile.to_chrome_trace()).expect("write chrome trace");
+    println!("{}", profile.summary());
+    println!("  -> {}", path.display());
+}
+
 /// A K20-configured simulator honouring the command-line flags (`--check`,
-/// `--no-memo`). Experiment binaries construct their simulators through
-/// this so one flag covers every worker thread.
+/// `--no-memo`, `--profile`). Experiment binaries construct their
+/// simulators through this so one flag covers every worker thread.
 pub fn gpu() -> Gpu {
     Gpu::k20()
         .with_check(check_level())
         .with_memo(memo_enabled())
+        .with_profiler(profiling())
 }
 
-/// Apply the command-line flags (`--check`, `--no-memo`) to an explicitly
-/// configured simulator (the ablation and cross-device binaries build
-/// theirs from custom configs).
+/// Apply the command-line flags (`--check`, `--no-memo`, `--profile`) to an
+/// explicitly configured simulator (the ablation and cross-device binaries
+/// build theirs from custom configs).
 #[must_use]
 pub fn with_check_flag(gpu: Gpu) -> Gpu {
-    gpu.with_check(check_level()).with_memo(memo_enabled())
+    gpu.with_check(check_level())
+        .with_memo(memo_enabled())
+        .with_profiler(profiling())
 }
 
 /// Run an experiment on a worker thread with a large stack.

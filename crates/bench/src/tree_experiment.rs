@@ -93,11 +93,16 @@ fn one_config(metric: TreeMetric, config: String, outdegree: u32, sparsity: u32)
         .seconds(&cost.cpu, &cpu_cfg)
         .min(it_counter.seconds(&cost.cpu, &cpu_cfg));
 
+    let fig = match metric {
+        TreeMetric::Descendants => "fig7",
+        TreeMetric::Heights => "fig8",
+    };
     let variants = RecTemplate::ALL
         .iter()
         .map(|&template| {
             let mut gpu = crate::runner::gpu();
             let r = tree_gpu(&mut gpu, &tree, metric, template, &RecParams::default());
+            crate::runner::export_profile(&mut gpu, &format!("{fig}_{config}_{template}"));
             let m = r.report.total();
             TreeVariant {
                 template: template.to_string(),

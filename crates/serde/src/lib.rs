@@ -233,6 +233,23 @@ macro_rules! impl_tuple {
                 Value::Array(vec![$(self.$n.to_value()),+])
             }
         }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let Value::Array(items) = v else {
+                    return type_err("array", v);
+                };
+                let mut it = items.iter();
+                let out = ($(
+                    $t::from_value(
+                        it.next().ok_or_else(|| Error("tuple too short".into()))?,
+                    )?,
+                )+);
+                if it.next().is_some() {
+                    return Err(Error("tuple too long".into()));
+                }
+                Ok(out)
+            }
+        }
     )+};
 }
 impl_tuple! {

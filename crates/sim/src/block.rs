@@ -31,6 +31,10 @@ pub(crate) struct BlockOutcome {
     pub warps: u32,
     /// Barrier segments in execution order (at least one).
     pub segments: Vec<SegmentTask>,
+    /// Whether this outcome was replayed from the block-level memo cache
+    /// rather than aligned live. Purely observational — the timeline
+    /// profiler marks replayed spans distinctly; nothing else reads it.
+    pub replayed: bool,
 }
 
 impl BlockOutcome {
@@ -142,7 +146,9 @@ pub(crate) fn finalize_block(
                 m.stats.block_hits += 1;
                 m.stats.ops_replayed += e.ops;
                 metrics.merge(&e.metrics);
-                return e.outcome.clone();
+                let mut out = e.outcome.clone();
+                out.replayed = true;
+                return out;
             }
             m.stats.block_misses += 1;
             // A full block cache can't store the entry, so don't make
@@ -219,6 +225,7 @@ pub(crate) fn finalize_block(
         let out = BlockOutcome {
             warps,
             segments: vec![seg],
+            replayed: false,
         };
         finish_block(metrics, delta, memo, bkey, &out, total_ops);
         return out;
@@ -286,13 +293,18 @@ pub(crate) fn finalize_block(
             seg.span += cost.sync_cycles;
             seg.work += cost.sync_cycles * f64::from(warps);
             delta.barriers += 1;
+            delta.stalls.barrier += cost.sync_cycles * f64::from(warps);
         }
         segments.push(seg);
     }
 
     delta.blocks += 1;
     delta.threads += nthreads as u64;
-    let out = BlockOutcome { warps, segments };
+    let out = BlockOutcome {
+        warps,
+        segments,
+        replayed: false,
+    };
     finish_block(metrics, delta, memo, bkey, &out, total_ops);
     out
 }
@@ -361,6 +373,11 @@ mod tests {
         assert!((out.segments[0].span - (1.0 + cost.sync_cycles)).abs() < 1e-12);
         assert!((out.segments[1].span - 3.0).abs() < 1e-12);
         assert!((out.work() - (1.0 + cost.sync_cycles + 3.0)).abs() < 1e-12);
+        // One barrier over one warp: the barrier bucket gets exactly the
+        // sync cost, and all buckets together cover work + barrier.
+        assert!((m.stalls.barrier - cost.sync_cycles).abs() < 1e-12);
+        assert!((m.stalls.total() - m.attributed_cycles()).abs() < 1e-9);
+        assert!(!out.replayed);
     }
 
     #[test]

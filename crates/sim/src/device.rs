@@ -8,6 +8,7 @@ use crate::engine::{register_grid, Engine, Origin};
 use crate::error::SimError;
 use crate::handle::{GBuf, GlobalAllocator};
 use crate::kernel::{KernelRef, LaunchConfig, Stream};
+use crate::prof::{Collector, Profile};
 use crate::profiler::Report;
 use crate::sched::simulate;
 
@@ -121,6 +122,63 @@ impl Gpu {
         self.engine.memo.is_some()
     }
 
+    /// Enable or disable the timeline profiler (see [`crate::prof`]). Off
+    /// by default. While enabled, every [`Gpu::synchronize`] appends the
+    /// batch's timeline — kernel spans, per-SM block residency,
+    /// parent→child launch flows — to an accumulating [`Profile`].
+    /// Profiling is observational: [`Report`]s are bit-identical with it
+    /// on or off. Disabling drops any accumulated profile.
+    pub fn set_profiler(&mut self, enabled: bool) {
+        self.engine.profiling = enabled;
+        if !enabled {
+            self.engine.profile = Profile::default();
+        }
+    }
+
+    /// Builder-style [`Gpu::set_profiler`].
+    ///
+    /// ```
+    /// use std::rc::Rc;
+    /// use npar_sim::{Gpu, LaunchConfig, ThreadKernel, ThreadCtx};
+    ///
+    /// struct Ping;
+    /// impl ThreadKernel for Ping {
+    ///     fn name(&self) -> &str { "ping" }
+    ///     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) { t.compute(8); }
+    /// }
+    ///
+    /// let mut gpu = Gpu::k20().with_profiler(true);
+    /// gpu.launch(Rc::new(Ping), LaunchConfig::new(4, 64)).unwrap();
+    /// let report = gpu.synchronize();
+    /// let profile = gpu.take_profile();
+    /// assert_eq!(profile.kernels.len(), 1);
+    /// assert!(!profile.blocks.is_empty());
+    /// assert!(profile.to_chrome_trace().contains("traceEvents"));
+    /// println!("{}", report.stall_table());
+    /// ```
+    #[must_use]
+    pub fn with_profiler(mut self, enabled: bool) -> Self {
+        self.set_profiler(enabled);
+        self
+    }
+
+    /// Whether the timeline profiler is currently enabled.
+    pub fn profiler_enabled(&self) -> bool {
+        self.engine.profiling
+    }
+
+    /// Drain the accumulated timeline [`Profile`]. The profile restarts
+    /// empty (timeline cycle 0) afterwards. Returns an empty profile when
+    /// the profiler is disabled or nothing has been synchronized.
+    pub fn take_profile(&mut self) -> Profile {
+        let mut p = std::mem::take(&mut self.engine.profile);
+        if p.device.is_empty() {
+            p.device.clone_from(&self.engine.device.name);
+            p.clock_ghz = self.engine.device.clock_ghz;
+        }
+        p
+    }
+
     /// Drain the hazards recorded since the last drain (or synchronize).
     /// Useful under [`CheckLevel::Warn`], where launches keep succeeding.
     pub fn take_check_report(&mut self) -> CheckReport {
@@ -177,7 +235,23 @@ impl Gpu {
     /// launched since the previous synchronize and return its [`Report`].
     pub fn synchronize(&mut self) -> Report {
         let t0 = std::time::Instant::now();
-        let timing = simulate(&self.engine.grids, &self.engine.device, &self.engine.cost);
+        let mut prof = self
+            .engine
+            .profiling
+            .then(|| Collector::new(self.engine.grids.len()));
+        let timing = simulate(
+            &self.engine.grids,
+            &self.engine.device,
+            &self.engine.cost,
+            prof.as_mut(),
+        );
+        if let Some(col) = prof {
+            col.finish(
+                &self.engine.grids,
+                &self.engine.device,
+                &mut self.engine.profile,
+            );
+        }
         self.engine.stats.wall_seconds += t0.elapsed().as_secs_f64();
         let host_launches = self
             .engine

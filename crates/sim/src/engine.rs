@@ -69,6 +69,11 @@ pub(crate) struct Engine {
     pub stats: SimStats,
     /// Hazard-checker state (see [`crate::check`]).
     pub check: CheckState,
+    /// Whether the timeline profiler records events (see [`crate::prof`]).
+    pub profiling: bool,
+    /// Accumulated timeline across batches; drained by
+    /// [`crate::Gpu::take_profile`].
+    pub profile: crate::prof::Profile,
 }
 
 impl Engine {
@@ -87,6 +92,8 @@ impl Engine {
             memo,
             stats: SimStats::default(),
             check,
+            profiling: false,
+            profile: crate::prof::Profile::default(),
         }
     }
 

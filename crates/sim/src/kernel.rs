@@ -108,6 +108,36 @@ impl BlockState {
 ///
 /// Kernels that need no barrier typically implement [`ThreadKernel`] instead
 /// and get this trait via the blanket impl.
+///
+/// A two-phase kernel with a block-wide barrier, launched like the
+/// quickstart example:
+///
+/// ```
+/// use std::rc::Rc;
+/// use npar_sim::{BlockCtx, Gpu, Kernel, LaunchConfig};
+///
+/// /// Stage values into shared memory, barrier, then read them back.
+/// struct StageAndSum;
+/// impl Kernel for StageAndSum {
+///     fn name(&self) -> &str { "stage-and-sum" }
+///     fn run_block(&self, blk: &mut BlockCtx<'_>) {
+///         blk.for_each_thread(|t| {
+///             t.compute(1);
+///             t.shared_st(t.thread_idx() * 4); // stage my slot
+///         });
+///         blk.sync(); // __syncthreads()
+///         blk.for_each_thread(|t| {
+///             t.shared_ld(((t.thread_idx() + 1) % t.block_dim()) * 4);
+///             t.compute(1);
+///         });
+///     }
+/// }
+///
+/// let mut gpu = Gpu::k20();
+/// gpu.launch(Rc::new(StageAndSum), LaunchConfig::new(8, 64)).unwrap();
+/// let report = gpu.synchronize();
+/// assert_eq!(report.total().barriers, 8); // one per block
+/// ```
 pub trait Kernel {
     /// Kernel name, used to key profiler metrics (like `nvprof` does).
     fn name(&self) -> &str;

@@ -18,7 +18,12 @@
 //!   limits, SM issue bandwidth is shared, streams serialize, and child
 //!   grids (dynamic parallelism) release after a launch latency; parents
 //!   that join their children swap out and pay a restore penalty.
-//! * **Profiling** — `nvprof`-style metrics per kernel name.
+//! * **Profiling** — `nvprof`-style metrics per kernel name, with stall
+//!   attribution (where every cycle went: compute, divergence, memory,
+//!   atomics, launch overhead, barriers) and an opt-in timeline profiler,
+//!   **npar-prof** (see [`prof`]), that records kernel spans, per-SM block
+//!   residency and parent→child launch flows, exporting Chrome-trace JSON
+//!   for Perfetto.
 //! * **Hazard checking** — a `cuda-memcheck`-style sanitizer (see
 //!   [`check`]) replays the recorded traces for shared/global data races,
 //!   divergent barriers, out-of-bounds shared accesses and misused dynamic
@@ -43,6 +48,7 @@ mod kernel;
 mod memo;
 mod memory;
 pub mod occupancy;
+pub mod prof;
 pub mod profiler;
 mod sched;
 mod trace;
@@ -57,4 +63,5 @@ pub use device::Gpu;
 pub use error::SimError;
 pub use handle::{GBuf, GlobalAllocator};
 pub use kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream, ThreadKernel};
-pub use profiler::{KernelMetrics, Report, SimStats};
+pub use prof::{BlockSpan, KernelSpan, LaunchFlow, Profile};
+pub use profiler::{KernelMetrics, Report, SimStats, StallCycles};

@@ -7,6 +7,78 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// Per-kernel stall attribution: warp execution cycles split by what the
+/// warp scheduler was doing, in the spirit of `nvprof`'s stall-reason
+/// metrics.
+///
+/// The first six buckets partition [`KernelMetrics::work_cycles`]: every
+/// issue-group cycle the warp aligner charges is split into the *busy*
+/// share (active lanes ÷ warp width, attributed to the group's kind) and
+/// the *idle* remainder (attributed to [`StallCycles::divergence`]).
+/// Barrier cycles are charged by block finalization on top of `work_cycles`
+/// and therefore live in their own bucket. All values are work cycles
+/// (warp-cycles), not wall-clock span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StallCycles {
+    /// Busy ALU cycles (active-lane share of compute issue groups).
+    pub compute: f64,
+    /// Idle-lane cycles: lanes masked off while their warp issues — the
+    /// divergence cost of irregular inner loops and early-exiting lanes.
+    pub divergence: f64,
+    /// Busy global-memory cycles (loads and stores, incl. transaction
+    /// serialization from uncoalesced access).
+    pub gmem: f64,
+    /// Busy shared-memory cycles (incl. bank-conflict replays).
+    pub shared: f64,
+    /// Busy atomic cycles (global + shared, incl. same-address
+    /// serialization).
+    pub atomic: f64,
+    /// Device-side launch issue overhead. Launches serialize lane by lane,
+    /// so the whole group duration is launch overhead rather than
+    /// divergence.
+    pub launch: f64,
+    /// `__syncthreads` cost charged at each barrier (per resident warp).
+    pub barrier: f64,
+}
+
+impl StallCycles {
+    /// Sum of every bucket: total attributed warp cycles
+    /// (`work_cycles + barrier`, within floating-point tolerance).
+    pub fn total(&self) -> f64 {
+        self.compute
+            + self.divergence
+            + self.gmem
+            + self.shared
+            + self.atomic
+            + self.launch
+            + self.barrier
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &StallCycles) {
+        self.compute += other.compute;
+        self.divergence += other.divergence;
+        self.gmem += other.gmem;
+        self.shared += other.shared;
+        self.atomic += other.atomic;
+        self.launch += other.launch;
+        self.barrier += other.barrier;
+    }
+
+    /// The buckets as `(name, cycles)` pairs in display order.
+    pub fn named(&self) -> [(&'static str, f64); 7] {
+        [
+            ("compute", self.compute),
+            ("divergence", self.divergence),
+            ("gmem", self.gmem),
+            ("shared", self.shared),
+            ("atomic", self.atomic),
+            ("launch", self.launch),
+            ("barrier", self.barrier),
+        ]
+    }
+}
+
 /// Counters accumulated for one kernel name across every grid, block and
 /// warp that executed under it.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -45,6 +117,11 @@ pub struct KernelMetrics {
     pub barriers: u64,
     /// Total warp execution cycles (work, not span).
     pub work_cycles: f64,
+    /// Stall attribution of the warp cycles (see [`StallCycles`]). The
+    /// buckets are always computed — with or without the timeline profiler
+    /// — so they ride through the memo cache and reports stay bit-identical
+    /// across every mode.
+    pub stalls: StallCycles,
 }
 
 impl KernelMetrics {
@@ -93,6 +170,15 @@ impl KernelMetrics {
         self.device_launches += other.device_launches;
         self.barriers += other.barriers;
         self.work_cycles += other.work_cycles;
+        self.stalls.merge(&other.stalls);
+    }
+
+    /// Total warp cycles the stall buckets should account for:
+    /// `work_cycles` plus the barrier cost block finalization charges on
+    /// top of it. [`StallCycles::total`] equals this within floating-point
+    /// tolerance.
+    pub fn attributed_cycles(&self) -> f64 {
+        self.work_cycles + self.stalls.barrier
     }
 }
 
@@ -227,6 +313,56 @@ impl Report {
         for (name, m) in &other.kernels {
             self.kernels.entry(name.clone()).or_default().merge(m);
         }
+    }
+
+    /// Render an `nvprof --metrics`-style table: one row per kernel with
+    /// warp execution efficiency, global load/store efficiency and the
+    /// [`StallCycles`] buckets as shares of each kernel's attributed
+    /// cycles. The report-wide achieved occupancy heads the table.
+    pub fn stall_table(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "== stall attribution ({}) ==   achieved_occupancy {:5.1}%",
+            self.device,
+            self.achieved_occupancy * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "{:<28} {:>8} {:>8} {:>12} | {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "kernel",
+            "warp_eff",
+            "gld_eff",
+            "cycles",
+            "compute",
+            "diverge",
+            "gmem",
+            "shared",
+            "atomic",
+            "launch",
+            "barrier"
+        );
+        for (name, m) in &self.kernels {
+            let total = m.attributed_cycles();
+            let share = |c: f64| if total > 0.0 { c / total * 100.0 } else { 0.0 };
+            let _ = writeln!(
+                s,
+                "{:<28} {:>7.1}% {:>7.1}% {:>12.0} | {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+                name,
+                m.warp_execution_efficiency() * 100.0,
+                m.gld_efficiency() * 100.0,
+                total,
+                share(m.stalls.compute),
+                share(m.stalls.divergence),
+                share(m.stalls.gmem),
+                share(m.stalls.shared),
+                share(m.stalls.atomic),
+                share(m.stalls.launch),
+                share(m.stalls.barrier),
+            );
+        }
+        s
     }
 }
 
@@ -377,6 +513,82 @@ mod tests {
         assert!(s.contains("warp cache 6/8"));
         // A report with no traced ops keeps the sim line out entirely.
         assert!(!Report::default().to_string().contains("replayed"));
+    }
+
+    #[test]
+    fn stall_cycles_merge_and_total() {
+        let mut a = StallCycles {
+            compute: 10.0,
+            divergence: 5.0,
+            gmem: 3.0,
+            ..Default::default()
+        };
+        let b = StallCycles {
+            compute: 1.0,
+            barrier: 2.0,
+            launch: 4.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!((a.compute - 11.0).abs() < 1e-12);
+        assert!((a.total() - 25.0).abs() < 1e-12);
+        let named = a.named();
+        assert_eq!(named[0].0, "compute");
+        assert!((named.iter().map(|(_, c)| c).sum::<f64>() - a.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_merge_includes_stalls() {
+        let mut a = KernelMetrics {
+            work_cycles: 10.0,
+            stalls: StallCycles {
+                compute: 6.0,
+                divergence: 4.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let b = KernelMetrics {
+            work_cycles: 2.0,
+            stalls: StallCycles {
+                gmem: 2.0,
+                barrier: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert!((a.stalls.total() - 13.0).abs() < 1e-12);
+        assert!((a.attributed_cycles() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_table_renders_shares() {
+        let mut r = Report {
+            device: "test".into(),
+            achieved_occupancy: 0.5,
+            ..Default::default()
+        };
+        r.kernels.insert(
+            "k".into(),
+            KernelMetrics {
+                work_cycles: 80.0,
+                stalls: StallCycles {
+                    compute: 40.0,
+                    divergence: 40.0,
+                    barrier: 20.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let t = r.stall_table();
+        assert!(t.contains("stall attribution"));
+        assert!(t.contains("diverge"));
+        assert!(t.contains("40.0%"), "table: {t}");
+        // An all-zero kernel renders 0% shares without dividing by zero.
+        r.kernels.insert("empty".into(), KernelMetrics::default());
+        assert!(r.stall_table().contains("empty"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::engine::{GridTask, Origin};
+use crate::prof::Collector;
 
 /// Hardware work-queue window: how many grids the dispatcher considers
 /// concurrently when the head grid cannot place a block (HyperQ depth).
@@ -127,13 +128,18 @@ struct Sim<'a> {
     launch_pool_free: f64,
     /// Launches serviced in the overflow (virtualized-pool) regime.
     overflow_launches: u64,
+    /// Timeline-profiler event sink (see [`crate::prof`]); `None` keeps
+    /// the scheduler on the exact pre-profiler paths.
+    prof: Option<&'a mut Collector>,
 }
 
-/// Simulate the timing of a batch of executed grids.
+/// Simulate the timing of a batch of executed grids, optionally recording
+/// the timeline into a profiler [`Collector`].
 pub(crate) fn simulate(
     grids: &[GridTask],
     device: &DeviceConfig,
     cost: &CostModel,
+    prof: Option<&mut Collector>,
 ) -> TimingResult {
     if grids.is_empty() {
         return TimingResult {
@@ -142,7 +148,7 @@ pub(crate) fn simulate(
             overflow_launches: 0,
         };
     }
-    let mut sim = Sim::new(grids, device, cost);
+    let mut sim = Sim::new(grids, device, cost, prof);
     sim.run();
     let capacity = f64::from(device.num_sms) * f64::from(device.max_warps_per_sm);
     let occ = if sim.makespan > 0.0 {
@@ -158,7 +164,12 @@ pub(crate) fn simulate(
 }
 
 impl<'a> Sim<'a> {
-    fn new(grids: &'a [GridTask], device: &'a DeviceConfig, cost: &'a CostModel) -> Self {
+    fn new(
+        grids: &'a [GridTask],
+        device: &'a DeviceConfig,
+        cost: &'a CostModel,
+        prof: Option<&'a mut Collector>,
+    ) -> Self {
         let mut streams: HashMap<SKey, (Vec<usize>, usize)> = HashMap::new();
         let mut stream_of = Vec::with_capacity(grids.len());
         let mut grt = Vec::with_capacity(grids.len());
@@ -223,6 +234,7 @@ impl<'a> Sim<'a> {
             makespan: 0.0,
             launch_pool_free: 0.0,
             overflow_launches: 0,
+            prof,
         };
         // Host launches serialize on the host thread: the i-th host launch
         // becomes schedulable after i+1 launch overheads.
@@ -250,6 +262,9 @@ impl<'a> Sim<'a> {
                 Ev::Release(g) => {
                     if self.grt[g].launch_serviced {
                         self.grt[g].released = true;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_release(g, t);
+                        }
                         self.maybe_activate(g);
                     } else {
                         // Pending-launch pool: device launches are serviced
@@ -353,6 +368,9 @@ impl<'a> Sim<'a> {
                     self.occupy(sm, g);
                     self.brt[g][b as usize].sm = sm;
                     let seg = self.brt[g][b as usize].seg;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        p.on_block_start(g, b, sm, self.now, true);
+                    }
                     self.start_segment(g, b, seg, true);
                     progressed = true;
                 } else {
@@ -375,6 +393,12 @@ impl<'a> Sim<'a> {
                     let rt = &mut self.brt[g][b as usize];
                     rt.state = BState::Running;
                     rt.sm = sm;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        if b == 0 {
+                            p.on_grid_start(g, self.now);
+                        }
+                        p.on_block_start(g, b, sm, self.now, false);
+                    }
                     self.start_segment(g, b, 0, false);
                     progressed = true;
                 }
@@ -404,6 +428,9 @@ impl<'a> Sim<'a> {
         let start = self.now;
         for &(child, offset) in &task.launches {
             self.brt[g][b as usize].unfinished_children += 1;
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.on_launch(g, b, sm_idx, child as usize, start + offset);
+            }
             self.push(
                 start + offset + self.cost.device_launch_latency_cycles,
                 Ev::Release(child as usize),
@@ -422,6 +449,9 @@ impl<'a> Sim<'a> {
             if must_wait {
                 // Swap the parent block out while it waits for children.
                 let sm = self.brt[g][b as usize].sm;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_block_end(g, b, self.now);
+                }
                 self.vacate(sm, g);
                 let rt = &mut self.brt[g][b as usize];
                 rt.state = BState::Swapped;
@@ -433,6 +463,9 @@ impl<'a> Sim<'a> {
             }
         } else {
             let sm = self.brt[g][b as usize].sm;
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.on_block_end(g, b, self.now);
+            }
             self.vacate(sm, g);
             self.brt[g][b as usize].state = BState::Done;
             self.grt[g].blocks_left -= 1;
@@ -447,6 +480,9 @@ impl<'a> Sim<'a> {
             return;
         }
         self.grt[g].done = true;
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.on_grid_done(g, self.now);
+        }
         // Advance this grid's stream.
         let key = self.stream_of[g];
         let next = {
@@ -507,7 +543,11 @@ mod tests {
     }
 
     fn block(warps: u32, segments: Vec<SegmentTask>) -> BlockOutcome {
-        BlockOutcome { warps, segments }
+        BlockOutcome {
+            warps,
+            segments,
+            replayed: false,
+        }
     }
 
     fn host(seq: u32) -> Origin {
@@ -516,7 +556,7 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let r = simulate(&[], &DeviceConfig::tiny(), &CostModel::default());
+        let r = simulate(&[], &DeviceConfig::tiny(), &CostModel::default(), None);
         assert_eq!(r.makespan, 0.0);
     }
 
@@ -530,7 +570,7 @@ mod tests {
             vec![block(1, vec![seg(100.0, 100.0)])],
             vec![],
         );
-        let r = simulate(&[g], &d, &c);
+        let r = simulate(&[g], &d, &c, None);
         assert!((r.makespan - (c.host_launch_cycles + 100.0)).abs() < 1e-6);
         assert!(r.achieved_occupancy > 0.0);
     }
@@ -545,7 +585,7 @@ mod tests {
         let blocks: Vec<BlockOutcome> =
             (0..16).map(|_| block(1, vec![seg(100.0, 100.0)])).collect();
         let g = grid(host(0), LaunchConfig::new(16, 32), blocks, vec![]);
-        let r = simulate(&[g], &d, &c);
+        let r = simulate(&[g], &d, &c, None);
         let expect = c.host_launch_cycles + 400.0;
         assert!(
             (r.makespan - expect).abs() < 1e-6,
@@ -571,7 +611,7 @@ mod tests {
             vec![block(1, vec![seg(50.0, 50.0)])],
             vec![],
         );
-        let r = simulate(&[g0, g1], &d, &c);
+        let r = simulate(&[g0, g1], &d, &c, None);
         // g0 starts after one launch overhead and runs 50 cycles; g1's
         // driver release lands at two launch overheads, after which it runs.
         let expect = 2.0 * c.host_launch_cycles + 50.0;
@@ -594,8 +634,8 @@ mod tests {
                 vec![],
             )
         };
-        let serial = simulate(&[mk(0, 0), mk(1, 0)], &d, &c).makespan;
-        let overlap = simulate(&[mk(0, 0), mk(1, 1)], &d, &c).makespan;
+        let serial = simulate(&[mk(0, 0), mk(1, 0)], &d, &c, None).makespan;
+        let overlap = simulate(&[mk(0, 0), mk(1, 1)], &d, &c, None).makespan;
         assert!(overlap < serial);
     }
 
@@ -628,7 +668,7 @@ mod tests {
             vec![block(1, vec![seg(500.0, 500.0)])],
             vec![],
         );
-        let r = simulate(&[parent, child], &d, &c);
+        let r = simulate(&[parent, child], &d, &c, None);
         let child_start = c.host_launch_cycles
             + 10.0
             + c.device_launch_latency_cycles
@@ -663,6 +703,7 @@ mod tests {
                         launches: vec![],
                     },
                 ],
+                replayed: false,
             }],
             vec![1],
         );
@@ -676,7 +717,7 @@ mod tests {
             vec![block(1, vec![seg(1000.0, 1000.0)])],
             vec![],
         );
-        let r = simulate(&[parent, child], &d, &c);
+        let r = simulate(&[parent, child], &d, &c, None);
         let child_done = c.host_launch_cycles
             + 5.0
             + c.device_launch_latency_cycles
@@ -724,8 +765,13 @@ mod tests {
                 vec![],
             )
         };
-        let serial = simulate(&[parent.clone_for_test(), mk_child(0), mk_child(0)], &d, &c);
-        let parallel = simulate(&[parent, mk_child(0), mk_child(1)], &d, &c);
+        let serial = simulate(
+            &[parent.clone_for_test(), mk_child(0), mk_child(0)],
+            &d,
+            &c,
+            None,
+        );
+        let parallel = simulate(&[parent, mk_child(0), mk_child(1)], &d, &c, None);
         assert!(parallel.makespan < serial.makespan);
     }
 
@@ -760,6 +806,7 @@ mod tests {
                     wait_children: false,
                     launches,
                 }],
+                replayed: false,
             }],
             (1..=n_children as usize).collect(),
         )];
@@ -775,12 +822,93 @@ mod tests {
                 vec![],
             ));
         }
-        let r = simulate(&grids, &d, &c);
+        let r = simulate(&grids, &d, &c, None);
         assert!(r.overflow_launches > 0, "backlog beyond 64 must overflow");
         assert!(r.overflow_launches < u64::from(n_children));
         // Makespan is dominated by pool service incl. the overflow tail.
         let fast = 65.0 * c.device_launch_service_cycles;
         assert!(r.makespan > fast, "makespan {} too small", r.makespan);
+    }
+
+    #[test]
+    fn collector_records_spans_flows_and_swaps() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        // Parent launches a child at offset 5, then joins it: the timeline
+        // must show two parent block spans (the second resumed), a child
+        // span, and one flow arrow.
+        let parent = grid(
+            host(0),
+            LaunchConfig::new(1, 32),
+            vec![BlockOutcome {
+                warps: 1,
+                segments: vec![
+                    SegmentTask {
+                        span: 20.0,
+                        work: 20.0,
+                        wait_children: false,
+                        launches: vec![(1, 5.0)],
+                    },
+                    SegmentTask {
+                        span: 30.0,
+                        work: 30.0,
+                        wait_children: true,
+                        launches: vec![],
+                    },
+                ],
+                replayed: false,
+            }],
+            vec![1],
+        );
+        let child = grid(
+            Origin::Device {
+                parent: 0,
+                block: 0,
+                stream_slot: 0,
+            },
+            LaunchConfig::new(1, 32),
+            vec![block(1, vec![seg(1000.0, 1000.0)])],
+            vec![],
+        );
+        let grids = [parent, child];
+        let mut col = Collector::new(grids.len());
+        let r = simulate(&grids, &d, &c, Some(&mut col));
+        let mut profile = crate::prof::Profile::default();
+        col.finish(&grids, &d, &mut profile);
+        assert_eq!(profile.kernels.len(), 2);
+        assert_eq!(profile.kernels[1].parent, Some((0, 0)));
+        assert!(profile.kernels[0].release <= profile.kernels[0].start);
+        assert!((profile.kernels[0].end - r.makespan).abs() < 1e-9);
+        // Parent runs, swaps out, resumes: 3 block spans total.
+        assert_eq!(profile.blocks.len(), 3);
+        let resumed: Vec<_> = profile.blocks.iter().filter(|b| b.resumed).collect();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].grid, 0);
+        assert_eq!(profile.flows.len(), 1);
+        let f = &profile.flows[0];
+        assert_eq!((f.parent_grid, f.child_grid), (0, 1));
+        assert!(f.launch < f.child_start);
+        assert!((f.child_start - profile.kernels[1].start).abs() < 1e-12);
+        // Every block span nests inside its grid's kernel span.
+        for b in &profile.blocks {
+            let k = &profile.kernels[b.grid as usize];
+            assert!(b.start >= k.start - 1e-9 && b.end <= k.end + 1e-9);
+        }
+    }
+
+    #[test]
+    fn profiling_does_not_change_timing() {
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+        let mk = || {
+            let blocks: Vec<BlockOutcome> =
+                (0..16).map(|_| block(1, vec![seg(100.0, 100.0)])).collect();
+            grid(host(0), LaunchConfig::new(16, 32), blocks, vec![])
+        };
+        let plain = simulate(&[mk()], &d, &c, None);
+        let mut col = Collector::new(1);
+        let profiled = simulate(&[mk()], &d, &c, Some(&mut col));
+        assert_eq!(plain, profiled);
     }
 
     #[test]
@@ -795,7 +923,7 @@ mod tests {
             vec![block(8, vec![seg(100.0, 800.0)])],
             vec![],
         );
-        let r = simulate(&[g], &d, &c);
+        let r = simulate(&[g], &d, &c, None);
         assert!((r.makespan - (c.host_launch_cycles + 400.0)).abs() < 1e-6);
     }
 }

@@ -13,7 +13,7 @@
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::memory;
-use crate::profiler::KernelMetrics;
+use crate::profiler::{KernelMetrics, StallCycles};
 use crate::trace::{Op, OpGroup, ISSUE_GROUPS};
 
 /// A device-side launch observed during alignment: which grid, and how many
@@ -55,6 +55,10 @@ pub(crate) fn align_warp(
     scratch: &mut AlignScratch,
 ) -> WarpOutcome {
     let warp = f64::from(device.warp_size);
+    // Warp widths are powers of two, so multiplying by the reciprocal is
+    // bit-identical to dividing and keeps the per-group stall split off
+    // the fp-divide unit (it runs once per issue group, the hot path).
+    let inv_warp = 1.0 / warp;
     let n = lanes.len();
     debug_assert!(n >= 1 && n <= device.warp_size as usize);
 
@@ -68,6 +72,14 @@ pub(crate) fn align_warp(
     let mut out = WarpOutcome::default();
     let mut issue_slots = 0.0f64;
     let mut active_slots = 0.0f64;
+    // Stall attribution: each issue group's duration splits into a busy
+    // share (active lanes / warp width, charged to the group's kind) and
+    // an idle remainder (charged to divergence). The hot loop accumulates
+    // the raw dur x active products; the busy scaling and the divergence
+    // remainder happen once per warp below. Accumulated locally and merged
+    // once at the end — the same single-add discipline as the counters
+    // above, which keeps memoized replays bit-identical.
+    let mut stalls = StallCycles::default();
 
     loop {
         // One pass over the unfinished lanes collects which issue groups
@@ -103,9 +115,11 @@ pub(crate) fn align_warp(
                         }
                     }
                     if max_n > 0 {
-                        out.cycles += f64::from(max_n) * cost.alu_cycles;
+                        let dur = f64::from(max_n) * cost.alu_cycles;
+                        out.cycles += dur;
                         issue_slots += warp * f64::from(max_n);
                         active_slots += sum_n as f64;
+                        stalls.compute += sum_n as f64 * cost.alu_cycles;
                     }
                 }
                 OpGroup::GlobalRead | OpGroup::GlobalWrite => {
@@ -129,10 +143,12 @@ pub(crate) fn align_warp(
                             device.mem_transaction_bytes,
                             &mut scratch.lines,
                         );
-                        out.cycles += cost.mem_base_cycles
+                        let dur = cost.mem_base_cycles
                             + c.transactions as f64 * cost.mem_transaction_cycles;
+                        out.cycles += dur;
                         issue_slots += warp;
                         active_slots += scratch.gaddrs.len() as f64;
+                        stalls.gmem += dur * scratch.gaddrs.len() as f64;
                         if group == OpGroup::GlobalRead {
                             metrics.gld_requested_bytes += c.requested_bytes;
                             metrics.gld_transactions += c.transactions;
@@ -161,11 +177,13 @@ pub(crate) fn align_warp(
                             device.shared_banks,
                             &mut scratch.banks,
                         );
-                        out.cycles += cost.shared_cycles * replays as f64;
+                        let dur = cost.shared_cycles * replays as f64;
+                        out.cycles += dur;
                         issue_slots += warp;
                         active_slots += scratch.saddrs.len() as f64;
                         metrics.shared_accesses += scratch.saddrs.len() as u64;
                         metrics.shared_replays += replays;
+                        stalls.shared += dur * scratch.saddrs.len() as f64;
                     }
                 }
                 OpGroup::AtomicGlobal => {
@@ -188,12 +206,14 @@ pub(crate) fn align_warp(
                             &mut scratch.lines,
                         );
                         let conflicts = memory::max_multiplicity(&mut scratch.aaddrs);
-                        out.cycles += cost.atomic_base_cycles
+                        let dur = cost.atomic_base_cycles
                             + (conflicts.saturating_sub(1)) as f64 * cost.atomic_conflict_cycles
                             + c.transactions as f64 * cost.mem_transaction_cycles;
+                        out.cycles += dur;
                         issue_slots += warp;
                         active_slots += count as f64;
                         metrics.atomics_global += count as u64;
+                        stalls.atomic += dur * count as f64;
                     }
                 }
                 OpGroup::AtomicShared => {
@@ -206,22 +226,28 @@ pub(crate) fn align_warp(
                     if !scratch.aaddrs.is_empty() {
                         let count = scratch.aaddrs.len();
                         let conflicts = memory::max_multiplicity(&mut scratch.aaddrs);
-                        out.cycles += cost.shared_cycles
+                        let dur = cost.shared_cycles
                             + (conflicts.saturating_sub(1)) as f64
                                 * cost.atomic_shared_conflict_cycles;
+                        out.cycles += dur;
                         issue_slots += warp;
                         active_slots += count as f64;
                         metrics.atomics_shared += count as u64;
+                        stalls.atomic += dur * count as f64;
                     }
                 }
                 OpGroup::Launch => {
-                    // Device-side launches serialize lane by lane.
+                    // Device-side launches serialize lane by lane. The
+                    // whole serialized duration is launch overhead — the
+                    // very cost the paper's dpar templates trade against —
+                    // so none of it is charged to divergence.
                     for (pos, lane) in scratch.positions.iter().zip(lanes) {
                         if let Some(Op::Launch { grid }) = lane.get(*pos) {
                             out.cycles += cost.device_launch_issue_cycles;
                             issue_slots += warp;
                             active_slots += 1.0;
                             metrics.device_launches += 1;
+                            stalls.launch += cost.device_launch_issue_cycles;
                             out.launches.push(LaunchPoint {
                                 grid: *grid,
                                 offset: out.cycles,
@@ -243,7 +269,31 @@ pub(crate) fn align_warp(
     metrics.issue_slots += issue_slots;
     metrics.active_slots += active_slots;
     metrics.work_cycles += out.cycles;
+    finish_stalls(&mut stalls, inv_warp, out.cycles, metrics);
     out
+}
+
+/// Fold one warp's raw stall accumulators into the kernel metrics. The work
+/// buckets were accumulated as dur x active-lanes; one exact power-of-two
+/// scale per warp turns them into busy cycles (launch is already whole
+/// cycles), and divergence is the remainder — which makes the partition of
+/// the warp's cycles exact by construction. Kept out of line so the
+/// alignment loop stays small.
+#[inline(never)]
+fn finish_stalls(
+    stalls: &mut StallCycles,
+    inv_warp: f64,
+    cycles: f64,
+    metrics: &mut KernelMetrics,
+) {
+    stalls.compute *= inv_warp;
+    stalls.gmem *= inv_warp;
+    stalls.shared *= inv_warp;
+    stalls.atomic *= inv_warp;
+    stalls.divergence = (cycles
+        - (stalls.compute + stalls.gmem + stalls.shared + stalls.atomic + stalls.launch))
+        .max(0.0);
+    metrics.stalls.merge(stalls);
 }
 
 /// The [`crate::cost::DivergenceModel::MaxLane`] ablation: every lane is
@@ -254,51 +304,67 @@ pub(crate) fn align_warp(
 fn max_lane_model(lanes: &[&[Op]], cost: &CostModel, metrics: &mut KernelMetrics) -> WarpOutcome {
     let mut out = WarpOutcome::default();
     let mut max_cycles = 0.0f64;
+    let mut max_stalls = StallCycles::default();
     let mut total_ops = 0u64;
     for lane in lanes {
         let mut c = 0.0f64;
+        let mut st = StallCycles::default();
         for op in lane.iter() {
             debug_assert!(!op.is_delimiter());
             total_ops += 1;
             match *op {
-                Op::Compute(k) => c += f64::from(k) * cost.alu_cycles,
+                Op::Compute(k) => {
+                    c += f64::from(k) * cost.alu_cycles;
+                    st.compute += f64::from(k) * cost.alu_cycles;
+                }
                 Op::GlobalRead { size, .. } => {
                     c += cost.mem_base_cycles + cost.mem_transaction_cycles;
+                    st.gmem += cost.mem_base_cycles + cost.mem_transaction_cycles;
                     metrics.gld_requested_bytes += u64::from(size);
                     metrics.gld_transactions += 1;
                 }
                 Op::GlobalWrite { size, .. } => {
                     c += cost.mem_base_cycles + cost.mem_transaction_cycles;
+                    st.gmem += cost.mem_base_cycles + cost.mem_transaction_cycles;
                     metrics.gst_requested_bytes += u64::from(size);
                     metrics.gst_transactions += 1;
                 }
                 Op::SharedRead { .. } | Op::SharedWrite { .. } => {
                     c += cost.shared_cycles;
+                    st.shared += cost.shared_cycles;
                     metrics.shared_accesses += 1;
                 }
                 Op::AtomicGlobal { .. } => {
                     c += cost.atomic_base_cycles + cost.mem_transaction_cycles;
+                    st.atomic += cost.atomic_base_cycles + cost.mem_transaction_cycles;
                     metrics.atomics_global += 1;
                 }
                 Op::AtomicShared { .. } => {
                     c += cost.shared_cycles;
+                    st.atomic += cost.shared_cycles;
                     metrics.atomics_shared += 1;
                 }
                 Op::Launch { grid } => {
                     c += cost.device_launch_issue_cycles;
+                    st.launch += cost.device_launch_issue_cycles;
                     metrics.device_launches += 1;
                     out.launches.push(LaunchPoint { grid, offset: c });
                 }
                 Op::Sync | Op::SyncChildren => unreachable!(),
             }
         }
-        max_cycles = max_cycles.max(c);
+        if c > max_cycles {
+            max_cycles = c;
+            max_stalls = st;
+        }
     }
     out.cycles = max_cycles;
-    // No divergence by construction: report full efficiency.
+    // No divergence by construction: report full efficiency, and attribute
+    // the warp's cycles as the slowest lane's own breakdown.
     metrics.issue_slots += total_ops as f64;
     metrics.active_slots += total_ops as f64;
     metrics.work_cycles += out.cycles;
+    metrics.stalls.merge(&max_stalls);
     out
 }
 
@@ -455,6 +521,82 @@ mod tests {
         let (out, m) = run(&lanes);
         assert_eq!(out.cycles, 0.0);
         assert_eq!(m.issue_slots, 0.0);
+    }
+
+    #[test]
+    fn stall_buckets_partition_work_cycles() {
+        // A mixed workload: divergent compute, scattered loads, a launch.
+        let mut lanes: Vec<Vec<Op>> = (0..32u64)
+            .map(|i| {
+                vec![
+                    Op::Compute((i % 7) as u32 + 1),
+                    Op::GlobalRead {
+                        addr: i * 4096,
+                        size: 4,
+                    },
+                    Op::AtomicGlobal { addr: 8 },
+                ]
+            })
+            .collect();
+        lanes[0].push(Op::Launch { grid: 1 });
+        let (out, m) = run(&lanes);
+        let sum = m.stalls.compute
+            + m.stalls.divergence
+            + m.stalls.gmem
+            + m.stalls.atomic
+            + m.stalls.shared
+            + m.stalls.launch;
+        assert!(
+            (sum - m.work_cycles).abs() < 1e-9 * m.work_cycles.max(1.0),
+            "bucket sum {sum} != work {}",
+            m.work_cycles
+        );
+        assert!((m.work_cycles - out.cycles).abs() < 1e-12);
+        assert!(m.stalls.compute > 0.0);
+        assert!(
+            m.stalls.divergence > 0.0,
+            "uneven trip counts must idle lanes"
+        );
+        assert!(m.stalls.gmem > 0.0);
+        assert!(m.stalls.atomic > 0.0);
+        assert!((m.stalls.launch - CostModel::default().device_launch_issue_cycles).abs() < 1e-12);
+        assert_eq!(m.stalls.barrier, 0.0, "barriers are charged by the block");
+    }
+
+    #[test]
+    fn uniform_compute_has_no_divergence_stall() {
+        let lanes: Vec<Vec<Op>> = (0..32).map(|_| vec![Op::Compute(4)]).collect();
+        let (_, m) = run(&lanes);
+        assert!((m.stalls.compute - m.work_cycles).abs() < 1e-12);
+        assert_eq!(m.stalls.divergence, 0.0);
+    }
+
+    #[test]
+    fn max_lane_model_attributes_slowest_lane() {
+        let device = DeviceConfig::kepler_k20();
+        let cost = CostModel {
+            divergence: crate::cost::DivergenceModel::MaxLane,
+            ..CostModel::default()
+        };
+        let mut metrics = KernelMetrics::default();
+        let mut scratch = AlignScratch::default();
+        let lanes: Vec<Vec<Op>> = (0..32u64)
+            .map(|i| {
+                let mut v = vec![Op::Compute(i as u32 + 1)];
+                if i == 31 {
+                    v.push(Op::GlobalRead { addr: 0, size: 4 });
+                }
+                v
+            })
+            .collect();
+        let refs: Vec<&[Op]> = lanes.iter().map(|v| v.as_slice()).collect();
+        let out = align_warp(&refs, &device, &cost, &mut metrics, &mut scratch);
+        assert_eq!(metrics.stalls.divergence, 0.0);
+        assert!(
+            (metrics.stalls.total() - out.cycles).abs() < 1e-9,
+            "maxlane buckets must sum to the slowest lane"
+        );
+        assert!(metrics.stalls.gmem > 0.0);
     }
 
     #[test]

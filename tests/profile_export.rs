@@ -1,0 +1,171 @@
+//! Timeline-shape tests for npar-prof on a real dynamic-parallelism
+//! workload (tree descendants, rec-hier template): kernel spans exist for
+//! every grid, block spans land on SMs and nest inside their kernel spans,
+//! parent→child launches carry flow arrows that respect causality, and the
+//! Chrome-trace export is well-formed JSON that Perfetto can load.
+
+use npar::apps::tree_apps::{tree_gpu, TreeMetric};
+use npar::core::{RecParams, RecTemplate};
+use npar::sim::{Gpu, Profile};
+use npar::tree::TreeGen;
+use serde::Value;
+
+fn profiled_tree_run(gpu: &mut Gpu) -> Profile {
+    let tree = TreeGen {
+        depth: 5,
+        outdegree: 5,
+        sparsity: 1,
+        seed: 42,
+    }
+    .generate();
+    tree_gpu(
+        gpu,
+        &tree,
+        TreeMetric::Descendants,
+        RecTemplate::RecHier,
+        &RecParams::default(),
+    );
+    gpu.take_profile()
+}
+
+#[test]
+fn dp_workload_records_parent_links_and_nested_spans() {
+    let mut gpu = Gpu::k20().with_profiler(true);
+    let profile = profiled_tree_run(&mut gpu);
+
+    assert!(!profile.is_empty());
+    assert_eq!(profile.device, "Tesla K20 (simulated)");
+    assert!(profile.clock_ghz > 0.0);
+
+    // The recursive template must produce device-launched child grids with
+    // parent links, and every link must point at an earlier grid.
+    let children = profile
+        .kernels
+        .iter()
+        .filter(|k| k.parent.is_some())
+        .count();
+    assert!(children > 0, "rec-hier run recorded no device launches");
+    for k in &profile.kernels {
+        assert!(k.release <= k.start && k.start <= k.end, "{k:?}");
+        if let Some((parent_grid, parent_block)) = k.parent {
+            let p = &profile.kernels[parent_grid as usize];
+            assert!(parent_grid < k.grid, "child {k:?} precedes parent");
+            assert!(p.start <= k.release, "child released before parent ran");
+            assert!(
+                profile
+                    .blocks
+                    .iter()
+                    .any(|b| b.grid == parent_grid && b.block == parent_block),
+                "parent block ({parent_grid},{parent_block}) has no span"
+            );
+        }
+    }
+
+    // Every block span sits on a valid SM and nests inside its grid's span.
+    assert!(!profile.blocks.is_empty());
+    let sms: std::collections::HashSet<u32> = profile.blocks.iter().map(|b| b.sm).collect();
+    assert!(sms.len() > 1, "multi-block run used a single SM");
+    for b in &profile.blocks {
+        let k = &profile.kernels[b.grid as usize];
+        assert!(b.start <= b.end, "{b:?}");
+        assert!(
+            k.start - 1e-9 <= b.start && b.end <= k.end + 1e-9,
+            "block span {b:?} escapes kernel span {k:?}"
+        );
+    }
+
+    // Flow arrows: one per device launch, launch happens before the child
+    // starts, and endpoints agree with the kernel spans.
+    assert_eq!(profile.flows.len(), children);
+    for f in &profile.flows {
+        assert!(f.launch <= f.child_start, "{f:?}");
+        let child = &profile.kernels[f.child_grid as usize];
+        assert_eq!(child.parent, Some((f.parent_grid, f.parent_block)));
+        assert!((f.child_start - child.start).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_with_flows() {
+    let mut gpu = Gpu::k20().with_profiler(true);
+    let profile = profiled_tree_run(&mut gpu);
+    let trace = profile.to_chrome_trace();
+
+    let v: Value = serde_json::parse(&trace).expect("chrome trace must be valid JSON");
+    let Some(Value::Array(events)) = v.get("traceEvents") else {
+        panic!("missing traceEvents array");
+    };
+
+    let ph = |e: &Value| match e.get("ph") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => panic!("event without ph: {e:?}"),
+    };
+    let count = |p: &str| events.iter().filter(|e| ph(e) == p).count();
+
+    // Metadata names the device process and the per-SM threads; complete
+    // events cover grids + blocks; flow arrows come in s/f pairs.
+    assert!(count("M") >= 2, "missing process/thread metadata");
+    assert_eq!(
+        count("X"),
+        profile.kernels.len() + profile.blocks.len(),
+        "one complete event per kernel and block span"
+    );
+    assert_eq!(count("s"), profile.flows.len());
+    assert_eq!(count("f"), profile.flows.len());
+
+    // Spot-check a complete event's schema: ts/dur in microseconds, and
+    // timestamps non-negative so Perfetto renders from t=0.
+    for e in events.iter().filter(|e| ph(e) == "X") {
+        let num = |key: &str| match e.get(key) {
+            Some(Value::Float(f)) => *f,
+            Some(Value::Int(i)) => *i as f64,
+            Some(Value::UInt(u)) => *u as f64,
+            other => panic!("event {key} missing or non-numeric: {other:?}"),
+        };
+        assert!(num("ts") >= 0.0 && num("dur") >= 0.0);
+        assert!(e.get("pid").is_some() && e.get("tid").is_some());
+        assert!(e.get("name").is_some());
+    }
+}
+
+#[test]
+fn repeat_launches_produce_memo_spans_and_one_timeline() {
+    // Two identical synchronized batches: the second replays from the memo
+    // cache; the profile must splice both batches into one timeline with
+    // the second batch's spans marked memo and shifted past the first.
+    let tree = TreeGen {
+        depth: 4,
+        outdegree: 4,
+        sparsity: 0,
+        seed: 7,
+    }
+    .generate();
+    let run = |gpu: &mut Gpu| {
+        tree_gpu(
+            gpu,
+            &tree,
+            TreeMetric::Descendants,
+            RecTemplate::Flat,
+            &RecParams::default(),
+        );
+    };
+    let mut probe = Gpu::k20().with_profiler(true);
+    run(&mut probe);
+    let one_batch = probe.take_profile().kernels.len();
+    assert!(one_batch > 0);
+
+    let mut gpu = Gpu::k20().with_profiler(true);
+    run(&mut gpu);
+    run(&mut gpu);
+    let profile = gpu.take_profile();
+
+    assert_eq!(profile.kernels.len(), 2 * one_batch);
+    // Grid ids stay dense and ordered across the batch splice.
+    for (i, k) in profile.kernels.iter().enumerate() {
+        assert_eq!(k.grid as usize, i);
+    }
+    assert!(
+        profile.blocks.iter().any(|b| b.memo),
+        "repeat launch produced no memo-replayed spans"
+    );
+}
