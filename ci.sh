@@ -9,6 +9,10 @@ cd "$(dirname "$0")"
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release
+# Once pinned to the serial executor, once at the machine's default thread
+# count (the parallel executor when >1 core) — reports must be bit-identical
+# either way (tests/parallel_differential.rs), so both runs must pass.
+NPAR_THREADS=1 cargo test -q
 cargo test -q
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo test -q --doc --workspace

@@ -11,11 +11,18 @@
 //! - `dp-heavy` — parents launch identical child grids; launch-bearing
 //!   blocks are never cached, but the children all hit.
 //!
+//! Two tables come out: memoization on vs off (single-threaded, so the
+//! cache is measured in isolation), and a host thread-scaling sweep over
+//! 1/2/4/8 worker threads (memo on, DESIGN.md §10) with a per-core scaling
+//! efficiency column. All three kernels opt into `parallel_trace` — they
+//! are order-independent and never join children mid-block — so the sweep
+//! exercises the fully concurrent executor.
+//!
 //! Writes `results/BENCH_sim.{txt,md,json}` and compares throughput to the
-//! checked-in `results/BENCH_sim_baseline.json`, exiting nonzero on a >2x
+//! checked-in `BENCH_sim_baseline.json`, exiting nonzero on a >2x
 //! regression. Refresh the baseline with `--update-baseline`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use npar_bench::{results, table};
 use npar_sim::{Gpu, KernelRef, LaunchConfig, Report, Stream, ThreadCtx, ThreadKernel};
@@ -41,6 +48,9 @@ struct Regular {
 impl ThreadKernel for Regular {
     fn name(&self) -> &str {
         "bench-regular"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
     }
     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
         let i = t.global_id();
@@ -70,6 +80,9 @@ impl ThreadKernel for Divergent {
     fn name(&self) -> &str {
         "bench-divergent"
     }
+    fn parallel_trace(&self) -> bool {
+        true
+    }
     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
         let i = t.global_id() + self.salt;
         let trips = (i * 2_654_435_761) % 31;
@@ -88,6 +101,9 @@ struct DpChild {
 impl ThreadKernel for DpChild {
     fn name(&self) -> &str {
         "bench-dp-child"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
     }
     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
         let i = t.global_id();
@@ -109,6 +125,11 @@ impl ThreadKernel for DpParent {
     fn name(&self) -> &str {
         "bench-dp-parent"
     }
+    fn parallel_trace(&self) -> bool {
+        // Fire-and-forget launches only (joined at grid completion), so
+        // concurrent tracing is legal.
+        true
+    }
     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
         if t.is_leader() {
             t.launch(&self.child, LaunchConfig::new(4, 64), Stream::Default);
@@ -119,14 +140,17 @@ impl ThreadKernel for DpParent {
 
 // --- measurement --------------------------------------------------------
 
-fn run_workload(name: &str, memo: bool) -> Report {
-    let mut gpu = Gpu::k20().with_memo(memo);
+/// Host worker threads the scaling sweep visits.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn run_workload(name: &str, memo: bool, threads: usize) -> Report {
+    let mut gpu = Gpu::k20().with_memo(memo).with_threads(threads);
     match name {
         "regular" => {
             let threads = 128 * 256;
             let x = gpu.alloc::<f32>(threads * 4 + 32 * 997 + 128);
             let y = gpu.alloc::<f32>(threads * 4);
-            let k = Rc::new(Regular { x, y });
+            let k = Arc::new(Regular { x, y });
             for _ in 0..LAUNCHES {
                 gpu.launch(k.clone(), LaunchConfig::new(128, 256)).unwrap();
             }
@@ -135,14 +159,14 @@ fn run_workload(name: &str, memo: bool) -> Report {
             let n = 128 * 256;
             let data = gpu.alloc::<f32>(n);
             for salt in 0..LAUNCHES {
-                let k = Rc::new(Divergent { n, salt, data });
+                let k = Arc::new(Divergent { n, salt, data });
                 gpu.launch(k, LaunchConfig::new(128, 256)).unwrap();
             }
         }
         "dp-heavy" => {
             let data = gpu.alloc::<f32>(5 * 4 * 64);
-            let child: KernelRef = Rc::new(DpChild { data });
-            let k = Rc::new(DpParent { child });
+            let child: KernelRef = Arc::new(DpChild { data });
+            let k = Arc::new(DpParent { child });
             for _ in 0..LAUNCHES {
                 gpu.launch(k.clone(), LaunchConfig::new(64, 64)).unwrap();
             }
@@ -154,12 +178,13 @@ fn run_workload(name: &str, memo: bool) -> Report {
 
 /// Best-of-`ITERS` wall time per mode, with the representative reports.
 /// Modes alternate within each iteration so background drift (frequency
-/// scaling, page cache) hits both equally.
+/// scaling, page cache) hits both equally. Single-threaded, so the cache
+/// is measured in isolation from host parallelism.
 fn measure(name: &str) -> ((f64, Report), (f64, Report)) {
     let mut best: [Option<(f64, Report)>; 2] = [None, None];
     for _ in 0..ITERS {
         for (slot, memo) in [(0, false), (1, true)] {
-            let r = run_workload(name, memo);
+            let r = run_workload(name, memo, 1);
             let w = r.sim.wall_seconds;
             if best[slot].as_ref().is_none_or(|(b, _)| w < *b) {
                 best[slot] = Some((w, r));
@@ -168,6 +193,29 @@ fn measure(name: &str) -> ((f64, Report), (f64, Report)) {
     }
     let [off, on] = best;
     (off.expect("iterations ran"), on.expect("iterations ran"))
+}
+
+/// Best-of-`ITERS` wall time at each sweep thread count (memo on). Thread
+/// counts alternate within each iteration, like [`measure`].
+fn measure_scaling(name: &str) -> Vec<(usize, f64, Report)> {
+    let mut best: Vec<Option<(f64, Report)>> = vec![None; THREAD_SWEEP.len()];
+    for _ in 0..ITERS {
+        for (slot, &threads) in THREAD_SWEEP.iter().enumerate() {
+            let r = run_workload(name, true, threads);
+            let w = r.sim.wall_seconds;
+            if best[slot].as_ref().is_none_or(|(b, _)| w < *b) {
+                best[slot] = Some((w, r));
+            }
+        }
+    }
+    THREAD_SWEEP
+        .iter()
+        .zip(best)
+        .map(|(&t, b)| {
+            let (w, r) = b.expect("iterations ran");
+            (t, w, r)
+        })
+        .collect()
 }
 
 #[derive(Serialize)]
@@ -184,6 +232,22 @@ struct Row {
     memo_on_ops_per_sec: f64,
     memo_off_ops_per_sec: f64,
     memo_on_blocks_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct ScalingRow {
+    workload: String,
+    threads: usize,
+    seconds: f64,
+    speedup_vs_1: f64,
+    efficiency: f64,
+    ops_traced: u64,
+}
+
+#[derive(Serialize)]
+struct Rows {
+    memo: Vec<Row>,
+    scaling: Vec<ScalingRow>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -259,7 +323,69 @@ fn main() {
             format!("{:.1}k/s", r.memo_on_blocks_per_sec / 1e3),
         ]);
     }
-    results::save("BENCH_sim", &[t], &rows);
+
+    // The adaptive memo bypass (DESIGN.md §8) must keep hostile workloads
+    // from paying for a cache that never hits: after the probe window the
+    // divergent kernel's fingerprint class is demoted and tracing runs
+    // bare, so memo-on may not lose to memo-off beyond noise.
+    let divergent = rows
+        .iter()
+        .find(|r| r.workload == "divergent")
+        .expect("divergent row");
+    if divergent.speedup < 0.97 {
+        eprintln!(
+            "REGRESSION: divergent memo-on {:.3}x vs memo-off — adaptive bypass not engaging",
+            divergent.speedup
+        );
+        std::process::exit(1);
+    }
+
+    let scaling: Vec<ScalingRow> = ["regular", "divergent", "dp-heavy"]
+        .iter()
+        .flat_map(|&name| {
+            let runs = measure_scaling(name);
+            let serial = runs[0].1;
+            runs.into_iter()
+                .map(|(threads, seconds, r)| ScalingRow {
+                    workload: name.to_string(),
+                    threads,
+                    seconds,
+                    speedup_vs_1: serial / seconds,
+                    efficiency: serial / seconds / threads as f64,
+                    ops_traced: r.sim.ops_traced,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut ts = table::Table::new(
+        "Host thread scaling — trace/align pipeline, memo on (reports bit-identical)",
+        &[
+            "workload",
+            "threads",
+            "wall",
+            "speedup",
+            "efficiency",
+            "ops",
+        ],
+    );
+    for r in &scaling {
+        ts.row(vec![
+            r.workload.clone(),
+            r.threads.to_string(),
+            table::ms(r.seconds),
+            table::fx(r.speedup_vs_1),
+            table::pct(r.efficiency),
+            table::count(r.ops_traced),
+        ]);
+    }
+
+    let rows = Rows {
+        memo: rows,
+        scaling,
+    };
+    results::save("BENCH_sim", &[t, ts], &rows);
+    let rows = rows.memo;
 
     if update_baseline {
         let baseline = Baseline {

@@ -35,6 +35,35 @@ pub fn memo_enabled() -> bool {
     *MEMO.get_or_init(|| !std::env::args().skip(1).any(|a| a == "--no-memo"))
 }
 
+/// Host worker threads per simulator. Every experiment binary accepts
+/// `--threads N` (or `--threads=N`); without the flag the `NPAR_THREADS`
+/// environment variable and then the machine's core count decide (see
+/// `npar_sim::Gpu::with_threads`). Reports are bit-identical at any thread
+/// count — the flag only changes host wall time.
+pub fn thread_count() -> Option<usize> {
+    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let value = if arg == "--threads" {
+                args.next()
+            } else {
+                arg.strip_prefix("--threads=").map(str::to_string)
+            };
+            if let Some(v) = value {
+                match v.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => return Some(n),
+                    _ => {
+                        eprintln!("ignoring invalid --threads value {v:?}");
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    })
+}
+
 /// The `--profile[=<path>]` command-line flag. Every experiment binary
 /// accepts `--profile` to enable the npar-prof timeline profiler (see
 /// `npar_sim::prof`) and export a Chrome-trace JSON per simulated run into
@@ -98,23 +127,25 @@ pub fn export_profile(gpu: &mut Gpu, tag: &str) {
 }
 
 /// A K20-configured simulator honouring the command-line flags (`--check`,
-/// `--no-memo`, `--profile`). Experiment binaries construct their
-/// simulators through this so one flag covers every worker thread.
+/// `--no-memo`, `--profile`, `--threads`). Experiment binaries construct
+/// their simulators through this so one flag covers every worker thread.
 pub fn gpu() -> Gpu {
-    Gpu::k20()
-        .with_check(check_level())
-        .with_memo(memo_enabled())
-        .with_profiler(profiling())
+    with_check_flag(Gpu::k20())
 }
 
-/// Apply the command-line flags (`--check`, `--no-memo`, `--profile`) to an
-/// explicitly configured simulator (the ablation and cross-device binaries
-/// build theirs from custom configs).
+/// Apply the command-line flags (`--check`, `--no-memo`, `--profile`,
+/// `--threads`) to an explicitly configured simulator (the ablation and
+/// cross-device binaries build theirs from custom configs).
 #[must_use]
 pub fn with_check_flag(gpu: Gpu) -> Gpu {
-    gpu.with_check(check_level())
+    let gpu = gpu
+        .with_check(check_level())
         .with_memo(memo_enabled())
-        .with_profiler(profiling())
+        .with_profiler(profiling());
+    match thread_count() {
+        Some(n) => gpu.with_threads(n),
+        None => gpu,
+    }
 }
 
 /// Run an experiment on a worker thread with a large stack.

@@ -22,7 +22,11 @@ use npar_sim::ThreadCtx;
 /// A hook must record the same instruction pattern no matter which template
 /// invokes it; the templates differ only in how iterations map to threads,
 /// blocks, buffers and nested grids.
-pub trait IrregularLoop {
+///
+/// `Send + Sync` is required because kernels (which hold the loop) may be
+/// traced on host worker threads (see [`npar_sim::Gpu::with_threads`]);
+/// mutable functional state belongs in [`npar_sim::SyncCell`].
+pub trait IrregularLoop: Send + Sync {
     /// Name used to key profiler metrics.
     fn name(&self) -> &str;
 

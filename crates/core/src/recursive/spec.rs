@@ -13,7 +13,11 @@ use npar_tree::Tree;
 /// Like [`crate::loops::IrregularLoop`], hooks do the *functional* update on
 /// application state and record *timing* on the [`npar_sim::ThreadCtx`]; the
 /// templates only decide the mapping and ordering.
-pub trait TreeReduce {
+///
+/// `Send + Sync` is required because kernels (which hold the reduction) may
+/// be traced on host worker threads (see [`npar_sim::Gpu::with_threads`]);
+/// mutable functional state belongs in [`npar_sim::SyncCell`].
+pub trait TreeReduce: Send + Sync {
     /// Name used to key profiler metrics.
     fn name(&self) -> &str;
 

@@ -3,10 +3,59 @@
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use crate::memo::{block_key, hash_ops, warp_key, BlockEntry, BlockMemo, WarpEntry};
+use crate::memo::{block_key, hash_ops, warp_key, BlockEntry, BlockFps, BlockMemo, WarpEntry};
 use crate::profiler::KernelMetrics;
 use crate::trace::Op;
 use crate::warp::{align_warp, AlignScratch};
+
+/// Warp-cache access during block alignment. The serial path consults the
+/// engine's cache directly ([`BlockMemo`]); the parallel path gives each
+/// worker a frozen snapshot plus a private overlay whose inserts are
+/// published in canonical block order at the merge
+/// ([`crate::parallel::WorkerMemo`]). A warp replay merges the entry's
+/// stored delta, which is bitwise identical to a live alignment of the same
+/// trace, so *which* view served a hit never shows in the metrics — only in
+/// the hit/miss statistics.
+pub(crate) trait WarpMemoView {
+    /// The block's fingerprints (warp keys + canonical address base).
+    fn fps(&self) -> &BlockFps;
+    /// Attempt to replay `key`: on a hit, merge the stored per-warp delta
+    /// into `delta`, record the hit, and return the warp cycles.
+    fn replay(&mut self, key: u64, delta: &mut KernelMetrics) -> Option<f64>;
+    /// Record a cacheable miss.
+    fn miss(&mut self);
+    /// Whether the cache stopped accepting entries (skip the per-warp delta
+    /// bookkeeping that only pays off if the entry could be stored).
+    fn full(&self) -> bool;
+    /// Store a freshly aligned warp.
+    fn store(&mut self, key: u64, entry: WarpEntry);
+}
+
+impl WarpMemoView for BlockMemo<'_> {
+    fn fps(&self) -> &BlockFps {
+        self.fps
+    }
+
+    fn replay(&mut self, key: u64, delta: &mut KernelMetrics) -> Option<f64> {
+        let e = self.cache.warps.get(&key)?;
+        self.stats.warp_hits += 1;
+        self.stats.ops_replayed += e.ops;
+        delta.merge(&e.metrics);
+        Some(e.cycles)
+    }
+
+    fn miss(&mut self) {
+        self.stats.warp_misses += 1;
+    }
+
+    fn full(&self) -> bool {
+        self.cache.warps_full()
+    }
+
+    fn store(&mut self, key: u64, entry: WarpEntry) {
+        self.cache.insert_warp(key, entry);
+    }
+}
 
 /// Timing of one barrier-delimited segment of a block.
 #[derive(Debug, Clone, Default)]
@@ -54,7 +103,7 @@ impl BlockOutcome {
 /// would: `align_warp` adds each floating-point counter once at its end,
 /// so replaying a stored per-warp delta is bitwise identical.
 #[allow(clippy::too_many_arguments)]
-fn run_warp(
+fn run_warp<M: WarpMemoView>(
     slices: &[&[Op]],
     key: Option<u64>,
     ops: u64,
@@ -62,20 +111,17 @@ fn run_warp(
     cost: &CostModel,
     delta: &mut KernelMetrics,
     scratch: &mut AlignScratch,
-    memo: &mut Option<BlockMemo<'_>>,
+    memo: &mut Option<M>,
     seg: &mut SegmentTask,
 ) {
     if let (Some(m), Some(key)) = (memo.as_mut(), key) {
-        if let Some(e) = m.cache.warps.get(&key) {
-            m.stats.warp_hits += 1;
-            m.stats.ops_replayed += e.ops;
-            delta.merge(&e.metrics);
-            seg.span = seg.span.max(e.cycles);
-            seg.work += e.cycles;
+        if let Some(cycles) = m.replay(key, delta) {
+            seg.span = seg.span.max(cycles);
+            seg.work += cycles;
             return;
         }
-        m.stats.warp_misses += 1;
-        if m.cache.warps_full() {
+        m.miss();
+        if m.full() {
             // The entry could not be stored anyway: skip the per-warp delta
             // and align straight into the caller's accumulator. Identical
             // result — align_warp adds each counter exactly once either way.
@@ -91,7 +137,7 @@ fn run_warp(
         delta.merge(&wdelta);
         seg.span = seg.span.max(outcome.cycles);
         seg.work += outcome.cycles;
-        m.cache.insert_warp(
+        m.store(
             key,
             WarpEntry {
                 cycles: outcome.cycles,
@@ -128,18 +174,13 @@ pub(crate) fn finalize_block(
     scratch: &mut AlignScratch,
     mut memo: Option<BlockMemo<'_>>,
 ) -> BlockOutcome {
-    let nthreads = traces.len();
-    assert!(nthreads > 0);
-    let warp_size = device.warp_size as usize;
-    let warps = nthreads.div_ceil(warp_size) as u32;
-
     // Block-level cache: when this exact block (by fingerprint + config)
     // was finalized before, replay its stored outcome and counter delta.
     // Blocks that launched children are excluded — their outcomes embed
     // run-specific grid ids.
     let mut bkey = None;
     if let Some(m) = memo.as_mut() {
-        debug_assert_eq!(m.fps.lanes.len(), nthreads);
+        debug_assert_eq!(m.fps.lanes.len(), traces.len());
         if !m.fps.any_launch() {
             let key = block_key(m.fps, m.cfg);
             if let Some(e) = m.cache.blocks.get(&key) {
@@ -162,6 +203,27 @@ pub(crate) fn finalize_block(
     // Everything below accumulates into a block-local delta so a future
     // block-level hit replays the identical contribution.
     let mut delta = KernelMetrics::default();
+    let out = align_block(traces, device, cost, scratch, &mut memo, &mut delta);
+    finish_block(metrics, delta, memo, bkey, &out, total_ops);
+    out
+}
+
+/// Segment and align one block's traces into `delta` (no block-level cache
+/// consultation — the caller has already decided this block aligns live).
+/// Generic over the warp-cache view so the serial path and the parallel
+/// workers share the exact same alignment logic.
+pub(crate) fn align_block<M: WarpMemoView>(
+    traces: &[Vec<Op>],
+    device: &DeviceConfig,
+    cost: &CostModel,
+    scratch: &mut AlignScratch,
+    memo: &mut Option<M>,
+    delta: &mut KernelMetrics,
+) -> BlockOutcome {
+    let nthreads = traces.len();
+    assert!(nthreads > 0);
+    let warp_size = device.warp_size as usize;
+    let warps = nthreads.div_ceil(warp_size) as u32;
 
     // Reference delimiter sequence from lane 0; every lane must match.
     let delims: Vec<Op> = traces[0]
@@ -200,7 +262,7 @@ pub(crate) fn finalize_block(
             // Warp key straight from the rolling fingerprints — no
             // re-hashing on the barrier-free path.
             let key = memo.as_ref().and_then(|m| {
-                let lanes = &m.fps.lanes[w * warp_size..w * warp_size + chunk.len()];
+                let lanes = &m.fps().lanes[w * warp_size..w * warp_size + chunk.len()];
                 if lanes.iter().any(|f| f.has_launch) {
                     None
                 } else {
@@ -214,21 +276,19 @@ pub(crate) fn finalize_block(
                 ops,
                 device,
                 cost,
-                &mut delta,
+                delta,
                 scratch,
-                &mut memo,
+                memo,
                 &mut seg,
             );
         }
         delta.blocks += 1;
         delta.threads += nthreads as u64;
-        let out = BlockOutcome {
+        return BlockOutcome {
             warps,
             segments: vec![seg],
             replayed: false,
         };
-        finish_block(metrics, delta, memo, bkey, &out, total_ops);
-        return out;
     }
 
     // Per-lane segment ranges, flattened into one lane-major buffer.
@@ -263,7 +323,7 @@ pub(crate) fn finalize_block(
             // warps re-hash their per-segment slices (one cheap pass,
             // still far below alignment cost).
             let key = memo.as_ref().and_then(|m| {
-                let base = m.fps.base.unwrap_or(0);
+                let base = m.fps().base.unwrap_or(0);
                 let mut launch = false;
                 let k = warp_key(slices[..chunk.len()].iter().map(|sl| {
                     let (h, l) = hash_ops(sl, base);
@@ -282,9 +342,9 @@ pub(crate) fn finalize_block(
                 ops,
                 device,
                 cost,
-                &mut delta,
+                delta,
                 scratch,
-                &mut memo,
+                memo,
                 &mut seg,
             );
         }
@@ -300,13 +360,11 @@ pub(crate) fn finalize_block(
 
     delta.blocks += 1;
     delta.threads += nthreads as u64;
-    let out = BlockOutcome {
+    BlockOutcome {
         warps,
         segments,
         replayed: false,
-    };
-    finish_block(metrics, delta, memo, bkey, &out, total_ops);
-    out
+    }
 }
 
 /// Publish a freshly finalized block: insert it into the block-level cache

@@ -6,16 +6,65 @@
 //! sweeps — so everything written before a [`BlockCtx::sync`] is visible to
 //! every thread after it, exactly the guarantee `__syncthreads` gives.
 //! Timing semantics come from the recorded traces, not execution order.
+//!
+//! Tracing runs against one of two hosts (see [`TraceHost`]): the serial
+//! engine-backed host, where device launches register immediately and
+//! `sync_children` recurses into child execution, or the worker-local host
+//! used when a [`crate::Kernel::parallel_trace`] kernel's blocks are traced
+//! concurrently — launches and hazards are collected locally and spliced
+//! into the engine in canonical block order afterwards.
 
-use crate::engine::{register_grid, run_subtree, Engine, Origin};
+use crate::check::{CheckLevel, CheckState};
+use crate::config::DeviceConfig;
+use crate::engine::{register_grid, run_subtree, validate_cfg, Engine, Origin};
 use crate::handle::GBuf;
 use crate::kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream};
 use crate::memo::{BlockFps, Fingerprint};
 use crate::trace::Op;
 
+/// A device launch recorded by a concurrently traced block, pending
+/// canonical registration on the main thread. The matching
+/// [`Op::Launch`] in the trace carries the launch's *index in this list*
+/// as a placeholder grid id until the merge step patches the real one in.
+pub(crate) struct ParLaunch {
+    pub kernel: KernelRef,
+    pub cfg: LaunchConfig,
+    pub stream_slot: u32,
+}
+
+/// Worker-local tracing backend for one concurrently traced block.
+pub(crate) struct ParTrace<'e> {
+    pub device: &'e DeviceConfig,
+    pub grid_name: &'e str,
+    pub grid_id: usize,
+    /// Local hazard state (invalid-launch diagnostics recorded mid-trace),
+    /// absorbed into the engine's state in block order at the merge.
+    pub check: CheckState,
+    /// Launches in issue order (thread order within the block).
+    pub launches: Vec<ParLaunch>,
+}
+
+/// What a [`BlockCtx`] traces against.
+pub(crate) enum TraceHost<'e> {
+    /// Single-threaded tracing with full engine access.
+    Serial(&'e mut Engine),
+    /// Concurrent tracing of a [`crate::Kernel::parallel_trace`] kernel on
+    /// a pool worker (or the main thread helping the pool).
+    Par(ParTrace<'e>),
+}
+
+impl TraceHost<'_> {
+    fn device(&self) -> &DeviceConfig {
+        match self {
+            TraceHost::Serial(e) => &e.device,
+            TraceHost::Par(p) => p.device,
+        }
+    }
+}
+
 /// Context for one thread block of a running kernel.
 pub struct BlockCtx<'e> {
-    engine: &'e mut Engine,
+    host: TraceHost<'e>,
     grid_id: usize,
     block_idx: u32,
     cfg: LaunchConfig,
@@ -24,41 +73,53 @@ pub struct BlockCtx<'e> {
     /// maintained alongside the traces so memoization keys cost one hash
     /// step per recorded op instead of a post-hoc pass.
     fps: BlockFps,
+    /// Whether fingerprints roll at all for this block — off when
+    /// memoization is disabled or the kernel's fingerprint class is
+    /// adaptively bypassed (see [`crate::memo::ClassStats`]).
+    fp_on: bool,
+    /// The kernel opted into concurrent tracing ([`Kernel::parallel_trace`])
+    /// and therefore must not join children mid-block.
+    par_kernel: bool,
     state: BlockState,
-    /// Child grids launched by this block and not yet joined.
+    /// Child grids launched by this block and not yet joined (serial host
+    /// only; the parallel host defers registration itself).
     pending: Vec<usize>,
 }
 
 impl<'e> BlockCtx<'e> {
+    #[allow(clippy::too_many_arguments)] // crate-internal; both executors thread the same set
     pub(crate) fn new(
-        engine: &'e mut Engine,
+        host: TraceHost<'e>,
         kernel: &dyn Kernel,
         grid_id: usize,
         block_idx: u32,
         cfg: LaunchConfig,
+        mut traces: Vec<Vec<Op>>,
+        mut fps: BlockFps,
+        fp_on: bool,
     ) -> Self {
-        let mut traces = std::mem::take(&mut engine.trace_pool);
         for t in &mut traces {
             t.clear();
         }
         traces.resize_with(cfg.block_dim as usize, Vec::new);
         traces.truncate(cfg.block_dim as usize);
-        let mut fps = std::mem::take(&mut engine.fp_pool);
         fps.reset(cfg.block_dim as usize);
         BlockCtx {
-            engine,
+            host,
             grid_id,
             block_idx,
             cfg,
             traces,
             fps,
+            fp_on,
+            par_kernel: kernel.parallel_trace(),
             state: kernel.block_state(block_idx),
             pending: Vec::new(),
         }
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<Vec<Op>>, BlockFps, Vec<usize>) {
-        (self.traces, self.fps, self.pending)
+    pub(crate) fn into_parts(self) -> (Vec<Vec<Op>>, BlockFps, Vec<usize>, TraceHost<'e>) {
+        (self.traces, self.fps, self.pending, self.host)
     }
 
     /// Index of this block within its grid.
@@ -84,10 +145,11 @@ impl<'e> BlockCtx<'e> {
         let BlockFps { lanes, base } = &mut self.fps;
         for t in 0..self.cfg.block_dim {
             let mut ctx = ThreadCtx {
-                engine: &mut *self.engine,
+                host: &mut self.host,
                 trace: &mut self.traces[t as usize],
                 fp: &mut lanes[t as usize],
                 canon: &mut *base,
+                fp_on: self.fp_on,
                 state: &mut self.state,
                 pending: &mut self.pending,
                 grid_id: self.grid_id,
@@ -107,10 +169,11 @@ impl<'e> BlockCtx<'e> {
     /// leader-launches / leader-combines idioms.
     pub fn leader(&mut self, f: impl FnOnce(&mut ThreadCtx<'_, '_>)) {
         let mut ctx = ThreadCtx {
-            engine: &mut *self.engine,
+            host: &mut self.host,
             trace: &mut self.traces[0],
             fp: &mut self.fps.lanes[0],
             canon: &mut self.fps.base,
+            fp_on: self.fp_on,
             state: &mut self.state,
             pending: &mut self.pending,
             grid_id: self.grid_id,
@@ -128,8 +191,10 @@ impl<'e> BlockCtx<'e> {
         for t in &mut self.traces {
             t.push(Op::Sync);
         }
-        for fp in &mut self.fps.lanes {
-            fp.record(Op::Sync, 0);
+        if self.fp_on {
+            for fp in &mut self.fps.lanes {
+                fp.record(Op::Sync, 0);
+            }
         }
     }
 
@@ -138,17 +203,44 @@ impl<'e> BlockCtx<'e> {
     /// parallelism). On the simulated device the waiting block is swapped
     /// out and pays a restore penalty when it resumes — the Kepler
     /// behaviour that makes in-kernel synchronization expensive.
+    ///
+    /// Panics when the kernel opted into [`Kernel::parallel_trace`]:
+    /// joining a child mid-block imposes an execution-order dependency that
+    /// concurrent tracing cannot honor (the panic fires at any thread
+    /// count, so the contract violation cannot hide on a serial run).
     pub fn sync_children(&mut self) {
-        // Functional join: drain the block's launched children (and their
-        // descendants) so their results are visible after the barrier.
-        for child in std::mem::take(&mut self.pending) {
-            run_subtree(self.engine, child);
+        assert!(
+            !self.par_kernel,
+            "parallel_trace kernels must not call sync_children: the mid-block \
+             join imposes an execution-order dependency concurrent tracing \
+             cannot honor (drop the parallel_trace opt-in or the join)"
+        );
+        match &mut self.host {
+            TraceHost::Serial(engine) => {
+                // Functional join: drain the block's launched children (and
+                // their descendants) so their results are visible after the
+                // barrier.
+                let pending = std::mem::take(&mut self.pending);
+                if !pending.is_empty() {
+                    // Publish any alignment work the chunked parallel
+                    // executor deferred, so the child grids observe exactly
+                    // the cache/metrics state the serial engine would have
+                    // at this point (no-op on the serial path).
+                    crate::parallel::flush_chunks(engine);
+                    for child in pending {
+                        run_subtree(engine, child);
+                    }
+                }
+            }
+            TraceHost::Par(_) => unreachable!("par host implies parallel_trace"),
         }
         for t in &mut self.traces {
             t.push(Op::SyncChildren);
         }
-        for fp in &mut self.fps.lanes {
-            fp.record(Op::SyncChildren, 0);
+        if self.fp_on {
+            for fp in &mut self.fps.lanes {
+                fp.record(Op::SyncChildren, 0);
+            }
         }
     }
 
@@ -164,12 +256,13 @@ impl<'e> BlockCtx<'e> {
 
 /// Context for one thread: indices plus the instruction-recording API.
 pub struct ThreadCtx<'b, 'e> {
-    engine: &'b mut Engine,
+    host: &'b mut TraceHost<'e>,
     trace: &'b mut Vec<Op>,
     fp: &'b mut Fingerprint,
     /// The block's canonical global-address base (shared by all threads;
     /// set by the block's first global access). See [`crate::memo`].
     canon: &'b mut Option<u64>,
+    fp_on: bool,
     state: &'b mut BlockState,
     pending: &'b mut Vec<usize>,
     grid_id: usize,
@@ -222,7 +315,9 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
         if n == 0 {
             return;
         }
-        self.fp.compute(n);
+        if self.fp_on {
+            self.fp.compute(n);
+        }
         if let Some(Op::Compute(last)) = self.trace.last_mut() {
             *last += n;
         } else {
@@ -236,7 +331,7 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
     /// so structurally identical blocks at shifted addresses share keys.
     #[inline]
     fn canon_base(&mut self, addr: u64) -> u64 {
-        let line = u64::from(self.engine.device.mem_transaction_bytes);
+        let line = u64::from(self.host.device().mem_transaction_bytes);
         *self.canon.get_or_insert(addr & !(line - 1))
     }
 
@@ -246,8 +341,10 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
             addr: buf.addr(i),
             size: buf.elem_bytes(),
         };
-        let base = self.canon_base(buf.addr(i));
-        self.fp.record(op, base);
+        if self.fp_on {
+            let base = self.canon_base(buf.addr(i));
+            self.fp.record(op, base);
+        }
         self.trace.push(op);
     }
 
@@ -257,34 +354,44 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
             addr: buf.addr(i),
             size: buf.elem_bytes(),
         };
-        let base = self.canon_base(buf.addr(i));
-        self.fp.record(op, base);
+        if self.fp_on {
+            let base = self.canon_base(buf.addr(i));
+            self.fp.record(op, base);
+        }
         self.trace.push(op);
     }
 
     /// Record a global-memory atomic on element `i` of `buf`.
     pub fn atomic<T>(&mut self, buf: &GBuf<T>, i: usize) {
         let op = Op::AtomicGlobal { addr: buf.addr(i) };
-        let base = self.canon_base(buf.addr(i));
-        self.fp.record(op, base);
+        if self.fp_on {
+            let base = self.canon_base(buf.addr(i));
+            self.fp.record(op, base);
+        }
         self.trace.push(op);
     }
 
     /// Record a shared-memory load at byte offset `addr`.
     pub fn shared_ld(&mut self, addr: u32) {
-        self.fp.record(Op::SharedRead { addr }, 0);
+        if self.fp_on {
+            self.fp.record(Op::SharedRead { addr }, 0);
+        }
         self.trace.push(Op::SharedRead { addr });
     }
 
     /// Record a shared-memory store at byte offset `addr`.
     pub fn shared_st(&mut self, addr: u32) {
-        self.fp.record(Op::SharedWrite { addr }, 0);
+        if self.fp_on {
+            self.fp.record(Op::SharedWrite { addr }, 0);
+        }
         self.trace.push(Op::SharedWrite { addr });
     }
 
     /// Record a shared-memory atomic at byte offset `addr`.
     pub fn shared_atomic(&mut self, addr: u32) {
-        self.fp.record(Op::AtomicShared { addr }, 0);
+        if self.fp_on {
+            self.fp.record(Op::AtomicShared { addr }, 0);
+        }
         self.trace.push(Op::AtomicShared { addr });
     }
 
@@ -304,43 +411,77 @@ impl<'b, 'e> ThreadCtx<'b, 'e> {
     /// sets an error). Under [`crate::CheckLevel::Warn`] execution
     /// continues; otherwise the hosting [`crate::Gpu::launch`] fails.
     pub fn launch(&mut self, kernel: &KernelRef, cfg: LaunchConfig, stream: Stream) {
-        if let Err(err) = self.engine.validate(&cfg) {
-            let hazard = crate::check::memcheck::invalid_child_launch(
-                &self.engine.grids[self.grid_id].name,
-                self.grid_id,
-                self.block_idx,
-                self.thread_idx,
-                &cfg,
-                &err,
-            );
-            if self.engine.check.level == crate::check::CheckLevel::Warn {
-                self.engine.check.record(hazard);
-            } else {
-                self.engine.check.record_fatal(hazard);
-            }
-            return;
-        }
         let slot = match stream {
             Stream::Default => 0,
             Stream::Slot(n) => n,
         };
-        let child = register_grid(
-            self.engine,
-            kernel,
-            cfg,
-            Origin::Device {
-                parent: self.grid_id,
-                block: self.block_idx,
-                stream_slot: slot,
-            },
-        );
-        self.pending.push(child);
-        let op = Op::Launch {
-            grid: u32::try_from(child).expect("grid id overflow"),
+        let grid = match &mut *self.host {
+            TraceHost::Serial(engine) => {
+                if let Err(err) = validate_cfg(&engine.device, &cfg) {
+                    let hazard = crate::check::memcheck::invalid_child_launch(
+                        &engine.grids[self.grid_id].name,
+                        self.grid_id,
+                        self.block_idx,
+                        self.thread_idx,
+                        &cfg,
+                        &err,
+                    );
+                    if engine.check.level == CheckLevel::Warn {
+                        engine.check.record(hazard);
+                    } else {
+                        engine.check.record_fatal(hazard);
+                    }
+                    return;
+                }
+                let child = register_grid(
+                    engine,
+                    kernel,
+                    cfg,
+                    Origin::Device {
+                        parent: self.grid_id,
+                        block: self.block_idx,
+                        stream_slot: slot,
+                    },
+                );
+                self.pending.push(child);
+                u32::try_from(child).expect("grid id overflow")
+            }
+            TraceHost::Par(p) => {
+                if let Err(err) = validate_cfg(p.device, &cfg) {
+                    let hazard = crate::check::memcheck::invalid_child_launch(
+                        p.grid_name,
+                        p.grid_id,
+                        self.block_idx,
+                        self.thread_idx,
+                        &cfg,
+                        &err,
+                    );
+                    if p.check.level == CheckLevel::Warn {
+                        p.check.record(hazard);
+                    } else {
+                        p.check.record_fatal(hazard);
+                    }
+                    return;
+                }
+                // Placeholder id (index into the block's launch list); the
+                // canonical merge registers the grid and patches the trace.
+                let placeholder = u32::try_from(p.launches.len()).expect("launch overflow");
+                p.launches.push(ParLaunch {
+                    kernel: std::sync::Arc::clone(kernel),
+                    cfg,
+                    stream_slot: slot,
+                });
+                placeholder
+            }
         };
+        let op = Op::Launch { grid };
         // Recorded only for launches that actually happen: a rejected
-        // launch leaves neither a trace op nor a fingerprint mark.
-        self.fp.record(op, 0);
+        // launch leaves neither a trace op nor a fingerprint mark. The
+        // fingerprint fold ignores the grid id (run-specific), so the
+        // placeholder patching never invalidates a rolled fingerprint.
+        if self.fp_on {
+            self.fp.record(op, 0);
+        }
         self.trace.push(op);
     }
 

@@ -17,7 +17,7 @@ use crate::sched::simulate;
 /// Usage mirrors a CUDA host program:
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use npar_sim::{Gpu, LaunchConfig, ThreadKernel, ThreadCtx};
 ///
 /// struct Saxpy { n: usize, x: npar_sim::GBuf<f32>, y: npar_sim::GBuf<f32> }
@@ -37,7 +37,7 @@ use crate::sched::simulate;
 /// let mut gpu = Gpu::k20();
 /// let x = gpu.alloc::<f32>(1024);
 /// let y = gpu.alloc::<f32>(1024);
-/// gpu.launch(Rc::new(Saxpy { n: 1024, x, y }), LaunchConfig::cover(1024, 192, 1 << 20)).unwrap();
+/// gpu.launch(Arc::new(Saxpy { n: 1024, x, y }), LaunchConfig::cover(1024, 192, 1 << 20)).unwrap();
 /// let report = gpu.synchronize();
 /// assert!(report.cycles > 0.0);
 /// assert!((report.total().warp_execution_efficiency() - 1.0).abs() < 1e-9);
@@ -48,10 +48,15 @@ pub struct Gpu {
 }
 
 impl Gpu {
-    /// New simulated GPU with the given device and cost models.
+    /// New simulated GPU with the given device and cost models. Host
+    /// execution defaults to one worker lane per available core (override
+    /// with [`Gpu::set_threads`] or the `NPAR_THREADS` environment
+    /// variable).
     pub fn new(device: DeviceConfig, cost: CostModel) -> Self {
+        let mut engine = Engine::new(device, cost);
+        engine.threads = default_threads();
         Gpu {
-            engine: Engine::new(device, cost),
+            engine,
             alloc: GlobalAllocator::new(),
         }
     }
@@ -89,6 +94,32 @@ impl Gpu {
         self
     }
 
+    /// Set the number of host worker lanes used to simulate each grid's
+    /// blocks (see DESIGN.md §10). `1` selects the serial executor; any
+    /// higher count fans block work out over a work-stealing pool. Reports
+    /// are byte-for-byte identical at every thread count — the setting
+    /// only changes host wall time. Values are clamped to at least 1; the
+    /// pool is rebuilt lazily on the next launch.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.engine.threads {
+            self.engine.threads = threads;
+            self.engine.pool = None;
+        }
+    }
+
+    /// Builder-style [`Gpu::set_threads`].
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Current host worker-lane count.
+    pub fn threads(&self) -> usize {
+        self.engine.threads
+    }
+
     /// Current hazard-checker severity.
     pub fn check_level(&self) -> CheckLevel {
         self.engine.check.level
@@ -107,6 +138,9 @@ impl Gpu {
             }
         } else {
             self.engine.memo = None;
+            // Adaptive per-kernel policy is meaningless without a cache and
+            // must not leak stale decisions into a later re-enable.
+            self.engine.memo_classes.clear();
         }
     }
 
@@ -138,7 +172,7 @@ impl Gpu {
     /// Builder-style [`Gpu::set_profiler`].
     ///
     /// ```
-    /// use std::rc::Rc;
+    /// use std::sync::Arc;
     /// use npar_sim::{Gpu, LaunchConfig, ThreadKernel, ThreadCtx};
     ///
     /// struct Ping;
@@ -148,7 +182,7 @@ impl Gpu {
     /// }
     ///
     /// let mut gpu = Gpu::k20().with_profiler(true);
-    /// gpu.launch(Rc::new(Ping), LaunchConfig::new(4, 64)).unwrap();
+    /// gpu.launch(Arc::new(Ping), LaunchConfig::new(4, 64)).unwrap();
     /// let report = gpu.synchronize();
     /// let profile = gpu.take_profile();
     /// assert_eq!(profile.kernels.len(), 1);
@@ -280,17 +314,32 @@ impl Gpu {
     }
 }
 
+/// Default host worker-lane count: `NPAR_THREADS` when set to a positive
+/// integer, otherwise the number of available cores, otherwise 1.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NPAR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ctx::ThreadCtx;
     use crate::kernel::ThreadKernel;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use crate::sync::SyncCell;
+    use std::sync::Arc;
 
     struct CountKernel {
         n: usize,
-        hits: Rc<RefCell<Vec<u32>>>,
+        hits: Arc<SyncCell<Vec<u32>>>,
     }
     impl ThreadKernel for CountKernel {
         fn name(&self) -> &str {
@@ -311,8 +360,8 @@ mod tests {
     fn grid_stride_covers_every_item_once() {
         let mut gpu = Gpu::tiny();
         let n = 1000;
-        let hits = Rc::new(RefCell::new(vec![0u32; n]));
-        let k = Rc::new(CountKernel {
+        let hits = Arc::new(SyncCell::new(vec![0u32; n]));
+        let k = Arc::new(CountKernel {
             n,
             hits: hits.clone(),
         });
@@ -327,8 +376,8 @@ mod tests {
     #[test]
     fn synchronize_resets_batch() {
         let mut gpu = Gpu::tiny();
-        let hits = Rc::new(RefCell::new(vec![0u32; 10]));
-        let k = Rc::new(CountKernel {
+        let hits = Arc::new(SyncCell::new(vec![0u32; 10]));
+        let k = Arc::new(CountKernel {
             n: 10,
             hits: hits.clone(),
         });
@@ -343,16 +392,16 @@ mod tests {
     #[test]
     fn launch_rejects_oversized_block() {
         let mut gpu = Gpu::tiny();
-        let hits = Rc::new(RefCell::new(vec![0u32; 1]));
-        let k = Rc::new(CountKernel { n: 1, hits });
+        let hits = Arc::new(SyncCell::new(vec![0u32; 1]));
+        let k = Arc::new(CountKernel { n: 1, hits });
         assert!(gpu.launch(k, LaunchConfig::new(1, 4096)).is_err());
     }
 
     #[test]
     fn reports_merge_across_batches() {
         let mut gpu = Gpu::tiny();
-        let hits = Rc::new(RefCell::new(vec![0u32; 64]));
-        let k = Rc::new(CountKernel {
+        let hits = Arc::new(SyncCell::new(vec![0u32; 64]));
+        let k = Arc::new(CountKernel {
             n: 64,
             hits: hits.clone(),
         });

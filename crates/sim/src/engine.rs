@@ -3,16 +3,17 @@
 //! grid/block timing tasks consumed by the scheduler.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::block::{finalize_block, BlockOutcome};
 use crate::check::{self, CheckState, GridAccess};
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
-use crate::ctx::BlockCtx;
+use crate::ctx::{BlockCtx, TraceHost};
 use crate::error::SimError;
 use crate::kernel::{KernelRef, LaunchConfig};
-use crate::memo::{BlockFps, BlockMemo, MemoCache};
+use crate::memo::{BlockFps, BlockMemo, ClassStats, MemoCache};
+use crate::parallel::BufPool;
 use crate::profiler::{KernelMetrics, SimStats};
 use crate::warp::AlignScratch;
 
@@ -74,6 +75,24 @@ pub(crate) struct Engine {
     /// Accumulated timeline across batches; drained by
     /// [`crate::Gpu::take_profile`].
     pub profile: crate::prof::Profile,
+    /// Host worker lanes for block-level parallelism (1 = serial path).
+    pub threads: usize,
+    /// Lazily-built work-stealing pool with `threads` lanes; dropped and
+    /// rebuilt when the thread count changes.
+    pub pool: Option<npar_par::Pool<AlignScratch>>,
+    /// Sharded recycled block buffers for the parallel path (the parallel
+    /// counterpart of `trace_pool`/`fp_pool`).
+    pub bufs: BufPool,
+    /// Stack of per-grid chunked-executor states (innermost tracing grid on
+    /// top); see [`crate::parallel::flush_chunks`]. Always empty on the
+    /// serial path.
+    pub chunks: Vec<crate::parallel::ChunkState>,
+    /// Adaptive memoization policy, keyed by kernel name: each kernel's
+    /// rolling block-cache hit rate decides whether fingerprinting (and
+    /// hence cache probing) stays on for its future grids. Decisions move
+    /// only at grid boundaries so both execution paths see identical
+    /// policy for every block.
+    pub memo_classes: BTreeMap<String, ClassStats>,
 }
 
 impl Engine {
@@ -94,36 +113,57 @@ impl Engine {
             check,
             profiling: false,
             profile: crate::prof::Profile::default(),
+            threads: 1,
+            pool: None,
+            bufs: BufPool::default(),
+            chunks: Vec::new(),
+            memo_classes: BTreeMap::new(),
         }
     }
 
     /// Validate a launch configuration against the device limits.
     pub(crate) fn validate(&self, cfg: &LaunchConfig) -> Result<(), SimError> {
-        if cfg.grid_dim == 0 || cfg.block_dim == 0 {
-            return Err(SimError::InvalidLaunch(
-                "grid and block dimensions must be >= 1".into(),
-            ));
-        }
-        if cfg.block_dim > self.device.max_threads_per_block {
-            return Err(SimError::InvalidLaunch(format!(
-                "block_dim {} exceeds device limit {}",
-                cfg.block_dim, self.device.max_threads_per_block
-            )));
-        }
-        if cfg.grid_dim > self.device.max_grid_dim {
-            return Err(SimError::InvalidLaunch(format!(
-                "grid_dim {} exceeds device limit {}",
-                cfg.grid_dim, self.device.max_grid_dim
-            )));
-        }
-        if cfg.shared_mem_bytes > self.device.shared_mem_per_block {
-            return Err(SimError::InvalidLaunch(format!(
-                "shared memory {} exceeds per-block limit {}",
-                cfg.shared_mem_bytes, self.device.shared_mem_per_block
-            )));
-        }
-        Ok(())
+        validate_cfg(&self.device, cfg)
     }
+
+    /// Lazily build the work-stealing pool for the current thread count.
+    pub(crate) fn ensure_pool(&mut self) -> &npar_par::Pool<AlignScratch> {
+        if self.pool.as_ref().is_none_or(|p| p.lanes() != self.threads) {
+            self.pool = Some(npar_par::Pool::new(self.threads, |_| {
+                AlignScratch::default()
+            }));
+        }
+        self.pool.as_ref().expect("pool just built")
+    }
+}
+
+/// Validate a launch configuration against device limits (free function so
+/// trace-time device launches can check without an `Engine` borrow).
+pub(crate) fn validate_cfg(device: &DeviceConfig, cfg: &LaunchConfig) -> Result<(), SimError> {
+    if cfg.grid_dim == 0 || cfg.block_dim == 0 {
+        return Err(SimError::InvalidLaunch(
+            "grid and block dimensions must be >= 1".into(),
+        ));
+    }
+    if cfg.block_dim > device.max_threads_per_block {
+        return Err(SimError::InvalidLaunch(format!(
+            "block_dim {} exceeds device limit {}",
+            cfg.block_dim, device.max_threads_per_block
+        )));
+    }
+    if cfg.grid_dim > device.max_grid_dim {
+        return Err(SimError::InvalidLaunch(format!(
+            "grid_dim {} exceeds device limit {}",
+            cfg.grid_dim, device.max_grid_dim
+        )));
+    }
+    if cfg.shared_mem_bytes > device.shared_mem_per_block {
+        return Err(SimError::InvalidLaunch(format!(
+            "shared memory {} exceeds per-block limit {}",
+            cfg.shared_mem_bytes, device.shared_mem_per_block
+        )));
+    }
+    Ok(())
 }
 
 /// Register a grid. Host-origin grids execute immediately; device-origin
@@ -142,7 +182,7 @@ pub(crate) fn register_grid(
         origin,
         blocks: Vec::with_capacity(cfg.grid_dim as usize),
         children: Vec::new(),
-        kernel: Some(Rc::clone(kernel)),
+        kernel: Some(Arc::clone(kernel)),
     });
     if let Origin::Device { parent, .. } = origin {
         engine.grids[parent].children.push(id);
@@ -154,13 +194,23 @@ pub(crate) fn register_grid(
     id
 }
 
-/// Execute one registered grid's blocks (no descendant handling).
-fn execute_blocks(engine: &mut Engine, id: usize) {
+/// Execute one registered grid's blocks (no descendant handling). Also the
+/// parallel executor's path for single-block grids, where fan-out buys
+/// nothing (hence `pub(crate)`).
+pub(crate) fn execute_blocks(engine: &mut Engine, id: usize) {
     let Some(kernel) = engine.grids[id].kernel.take() else {
         return; // already executed
     };
     let cfg = engine.grids[id].cfg;
     let name = kernel.name().to_string();
+    // Adaptive memoization: the authoritative class entry moves only at
+    // the grid boundary (below), but this block-local copy is probed in
+    // trace order so a cold class demotes mid-grid and the remaining
+    // blocks trace without rolling fingerprints (see `ClassStats::probe`).
+    let memo_enabled = engine.memo.is_some();
+    let mut class = engine.memo_classes.get(&name).copied().unwrap_or_default();
+    let mut window_attempts = 0u32;
+    let mut window_hits = 0u32;
     // Global-access accumulator for the cross-block race sweep. A local:
     // nested grids executed mid-block (a parent joining children) re-enter
     // this function with their own accumulator on the stack.
@@ -171,9 +221,21 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
     // the floating-point sums land bit-identically in both modes.
     let mut grid_metrics = KernelMetrics::default();
     for b in 0..cfg.grid_dim {
-        let mut blk = BlockCtx::new(engine, kernel.as_ref(), id, b, cfg);
+        let fp_on = memo_enabled && class.fp_on(b);
+        let traces = std::mem::take(&mut engine.trace_pool);
+        let fps = std::mem::take(&mut engine.fp_pool);
+        let mut blk = BlockCtx::new(
+            TraceHost::Serial(engine),
+            kernel.as_ref(),
+            id,
+            b,
+            cfg,
+            traces,
+            fps,
+            fp_on,
+        );
         kernel.run_block(&mut blk);
-        let (mut traces, fps, pending) = blk.into_parts();
+        let (mut traces, fps, pending, _host) = blk.into_parts();
         // Split-borrow the engine so alignment can stream into the metrics
         // accumulator while reading the device/cost config.
         let Engine {
@@ -190,9 +252,11 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
         // so Warn/Strict diagnostics are identical with memoization on.
         let sanitized = check::scan_block(check, &mut traces, &name, id, b, &cfg, &mut gaccess);
         stats.ops_traced += traces.iter().map(|t| t.len() as u64).sum::<u64>();
+        let h0 = stats.block_hits;
         // Sanitized (divergent-barrier) blocks bypass the cache: their
-        // fingerprints describe the pre-sanitization traces.
-        let block_memo = if sanitized {
+        // fingerprints describe the pre-sanitization traces. Blocks whose
+        // class has fingerprinting off never recorded one at all.
+        let block_memo = if sanitized || !fp_on {
             None
         } else {
             memo.as_mut().map(|cache| BlockMemo {
@@ -202,6 +266,9 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
                 stats,
             })
         };
+        // Launch-bearing blocks are excluded from the block cache, so they
+        // carry no signal about whether caching pays off for this class.
+        let probed = block_memo.is_some() && !fps.any_launch();
         let outcome = finalize_block(
             &traces,
             device,
@@ -219,10 +286,22 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
                 .all(|c| grids[id].children.binary_search(c).is_ok()),
             "pending launches must be registered children"
         );
+        if probed {
+            let hit = engine.stats.block_hits > h0;
+            class.probe(hit);
+            window_attempts += 1;
+            window_hits += u32::from(hit);
+        }
         engine.trace_pool = traces;
         engine.fp_pool = fps;
     }
     check::finish_grid(&mut engine.check, &name, id, gaccess);
+    if memo_enabled {
+        let entry = engine.memo_classes.entry(name.clone()).or_default();
+        entry.window_attempts += window_attempts;
+        entry.window_hits += window_hits;
+        entry.eval();
+    }
     engine.metrics.entry(name).or_default().merge(&grid_metrics);
 }
 
@@ -233,6 +312,10 @@ fn execute_blocks(engine: &mut Engine, id: usize) {
 /// depth-first re-relaxation storms); joined children were already drained
 /// depth-first at their `sync_children` barrier.
 pub(crate) fn run_grid(engine: &mut Engine, id: usize) {
+    if engine.threads > 1 {
+        crate::parallel::run_grid_par(engine, id);
+        return;
+    }
     let mut queue = std::collections::VecDeque::from([id]);
     while let Some(g) = queue.pop_front() {
         execute_blocks(engine, g);
@@ -244,6 +327,10 @@ pub(crate) fn run_grid(engine: &mut Engine, id: usize) {
 /// effect of a parent block joining a child at `sync_children` (the join
 /// covers the child's own nested work, as on hardware).
 pub(crate) fn run_subtree(engine: &mut Engine, id: usize) {
+    if engine.threads > 1 {
+        crate::parallel::run_subtree_par(engine, id);
+        return;
+    }
     execute_blocks(engine, id);
     let mut next = 0;
     while next < engine.grids[id].children.len() {
@@ -258,7 +345,6 @@ mod tests {
     use super::*;
     use crate::ctx::ThreadCtx;
     use crate::kernel::ThreadKernel;
-    use std::rc::Rc;
 
     struct Noop;
     impl ThreadKernel for Noop {
@@ -273,7 +359,7 @@ mod tests {
     #[test]
     fn executes_all_blocks_and_threads() {
         let mut e = Engine::new(DeviceConfig::tiny(), CostModel::default());
-        let k: KernelRef = Rc::new(Noop);
+        let k: KernelRef = Arc::new(Noop);
         let id = register_grid(
             &mut e,
             &k,

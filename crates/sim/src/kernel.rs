@@ -2,7 +2,7 @@
 //! trait implemented by every simulated GPU kernel.
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ctx::BlockCtx;
 
@@ -113,7 +113,7 @@ impl BlockState {
 /// quickstart example:
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use npar_sim::{BlockCtx, Gpu, Kernel, LaunchConfig};
 ///
 /// /// Stage values into shared memory, barrier, then read them back.
@@ -134,11 +134,11 @@ impl BlockState {
 /// }
 ///
 /// let mut gpu = Gpu::k20();
-/// gpu.launch(Rc::new(StageAndSum), LaunchConfig::new(8, 64)).unwrap();
+/// gpu.launch(Arc::new(StageAndSum), LaunchConfig::new(8, 64)).unwrap();
 /// let report = gpu.synchronize();
 /// assert_eq!(report.total().barriers, 8); // one per block
 /// ```
-pub trait Kernel {
+pub trait Kernel: Send + Sync {
     /// Kernel name, used to key profiler metrics (like `nvprof` does).
     fn name(&self) -> &str;
 
@@ -149,16 +149,42 @@ pub trait Kernel {
 
     /// Execute one thread block.
     fn run_block(&self, blk: &mut BlockCtx<'_>);
+
+    /// Opt this kernel into concurrent block tracing.
+    ///
+    /// The simulator always *merges* per-block results in canonical block
+    /// order, so timing reports are deterministic regardless of this flag.
+    /// But functional execution itself mutates device memory, and by default
+    /// the simulator traces blocks one at a time in block-id order so that a
+    /// kernel may (deliberately or not) observe writes made by lower-numbered
+    /// blocks. A kernel that returns `true` here promises its blocks are
+    /// *order-independent between launch boundaries* — no block reads global
+    /// data that another block of the same grid writes — which lets the
+    /// parallel executor trace many blocks of the grid at once.
+    ///
+    /// Kernels that return `true` must not call
+    /// [`BlockCtx::sync_children`]: joining a child grid mid-block imposes an
+    /// execution-order dependency that concurrent tracing cannot honor, and
+    /// the simulator panics on the combination. Fire-and-forget device
+    /// launches (joined at parent-grid completion) are fine.
+    fn parallel_trace(&self) -> bool {
+        false
+    }
 }
 
 /// Convenience trait for barrier-free kernels: implement a per-thread body
 /// and get a [`Kernel`] via the blanket impl.
-pub trait ThreadKernel {
+pub trait ThreadKernel: Send + Sync {
     /// Kernel name, used to key profiler metrics.
     fn name(&self) -> &str;
 
     /// Execute one thread.
     fn run_thread(&self, t: &mut crate::ctx::ThreadCtx<'_, '_>);
+
+    /// See [`Kernel::parallel_trace`]; forwarded by the blanket impl.
+    fn parallel_trace(&self) -> bool {
+        false
+    }
 }
 
 impl<K: ThreadKernel> Kernel for K {
@@ -169,11 +195,16 @@ impl<K: ThreadKernel> Kernel for K {
     fn run_block(&self, blk: &mut BlockCtx<'_>) {
         blk.for_each_thread(|t| self.run_thread(t));
     }
+
+    fn parallel_trace(&self) -> bool {
+        ThreadKernel::parallel_trace(self)
+    }
 }
 
 /// Shared-ownership handle to a kernel, as required for device-side
-/// launches (a child kernel must outlive the launching scope).
-pub type KernelRef = Rc<dyn Kernel>;
+/// launches (a child kernel must outlive the launching scope) and for
+/// multi-threaded host execution (workers trace blocks concurrently).
+pub type KernelRef = Arc<dyn Kernel>;
 
 #[cfg(test)]
 mod tests {

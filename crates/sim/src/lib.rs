@@ -48,9 +48,11 @@ mod kernel;
 mod memo;
 mod memory;
 pub mod occupancy;
+mod parallel;
 pub mod prof;
 pub mod profiler;
 mod sched;
+mod sync;
 mod trace;
 mod warp;
 
@@ -65,3 +67,4 @@ pub use handle::{GBuf, GlobalAllocator};
 pub use kernel::{BlockState, Kernel, KernelRef, LaunchConfig, Stream, ThreadKernel};
 pub use prof::{BlockSpan, KernelSpan, LaunchFlow, Profile};
 pub use profiler::{KernelMetrics, Report, SimStats, StallCycles};
+pub use sync::SyncCell;

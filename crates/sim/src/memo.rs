@@ -246,8 +246,8 @@ pub(crate) struct BlockEntry {
 /// Regular workloads, the cache's target, need few distinct keys. Once a
 /// cache is full, misses fall back to the direct alignment path and pay
 /// only the key lookup.
-const WARP_CAP: usize = 1 << 16;
-const BLOCK_CAP: usize = 1 << 14;
+pub(crate) const WARP_CAP: usize = 1 << 16;
+pub(crate) const BLOCK_CAP: usize = 1 << 14;
 
 /// Keys are already hashes — the maps pass them through unmixed.
 #[derive(Default)]
@@ -268,7 +268,95 @@ impl Hasher for IdentityHasher {
     }
 }
 
-type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+pub(crate) type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+
+/// While a kernel class is bypassed, the first `PROBE_BLOCKS` blocks of each
+/// grid still roll fingerprints and probe the cache, so a class whose blocks
+/// become cacheable again can re-enable itself.
+pub(crate) const PROBE_BLOCKS: u32 = 4;
+
+/// Minimum probed blocks in the rolling window before the hit rate is
+/// (re-)evaluated at a grid boundary.
+pub(crate) const EVAL_MIN: u32 = 4;
+
+/// Rolling memoization hit-rate for one kernel fingerprint-class (keyed by
+/// kernel name), driving the adaptive memo bypass.
+///
+/// Fully divergent workloads pay the fingerprint-rolling cost on every op
+/// and never hit (BENCH_sim regression: 0.95x vs memo-off). Each class
+/// starts *enabled* — regular workloads hit the block cache from their very
+/// first grid (block 0 inserts, the structurally identical blocks after it
+/// replay, thanks to canonical addressing), so one grid of window is enough
+/// to tell the two apart. A class whose window shows a block hit rate below
+/// 50% is demoted to *bypassed*: only the probe blocks of each grid keep
+/// fingerprinting, leaving a path back if the workload turns cacheable.
+///
+/// Promotion back to enabled happens at grid boundaries only
+/// ([`ClassStats::eval`]). Demotion additionally fires mid-grid in
+/// trace-order executors ([`ClassStats::probe`]) — a hostile first grid
+/// stops paying the fingerprint cost after `EVAL_MIN` cold probes instead
+/// of fingerprinting every block to its boundary. The concurrently traced
+/// path fingerprints all blocks before any probe resolves, so it keeps the
+/// grid-start policy; the policy is a host-side heuristic that never
+/// reaches the report (see `tests/memo_differential.rs`), so the paths may
+/// legally diverge here.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClassStats {
+    /// Whether every block of this class currently rolls fingerprints.
+    pub enabled: bool,
+    /// Probed blocks in the current window.
+    pub window_attempts: u32,
+    /// Probed blocks that hit the *block* cache. Warp-level hits are
+    /// deliberately ignored: the parallel path's worker-local warp views
+    /// count hits differently from the serial cache, and the policy must be
+    /// a pure function of state both paths share.
+    pub window_hits: u32,
+}
+
+impl Default for ClassStats {
+    fn default() -> Self {
+        ClassStats {
+            enabled: true,
+            window_attempts: 0,
+            window_hits: 0,
+        }
+    }
+}
+
+impl ClassStats {
+    /// Whether block `block_idx` of a grid rolls fingerprints and probes
+    /// the cache. Depends only on (class state at grid start, block id) —
+    /// deterministic at any thread count.
+    #[inline]
+    pub fn fp_on(&self, block_idx: u32) -> bool {
+        self.enabled || block_idx < PROBE_BLOCKS
+    }
+
+    /// Record one probed block in trace order, demoting as soon as the
+    /// window proves cold (< 50% hits over at least [`EVAL_MIN`] probes) so
+    /// the blocks after it stop rolling fingerprints. Called by the
+    /// trace-order executors on a block-local copy of the class; the
+    /// authoritative entry is updated at the grid boundary via
+    /// [`ClassStats::eval`], which reaches the same verdict from the full
+    /// window.
+    #[inline]
+    pub fn probe(&mut self, hit: bool) {
+        self.window_attempts += 1;
+        self.window_hits += u32::from(hit);
+        if self.window_attempts >= EVAL_MIN && self.window_hits * 2 < self.window_attempts {
+            self.enabled = false;
+        }
+    }
+
+    /// Re-evaluate at a grid boundary once the window is large enough.
+    pub fn eval(&mut self) {
+        if self.window_attempts >= EVAL_MIN {
+            self.enabled = self.window_hits * 2 >= self.window_attempts;
+            self.window_attempts = 0;
+            self.window_hits = 0;
+        }
+    }
+}
 
 /// The engine's alignment memoization cache. Lives for the lifetime of a
 /// [`crate::Gpu`], surviving `synchronize` — entries are content-keyed and
@@ -496,6 +584,48 @@ mod tests {
         // respects an existing entry refresh.
         cache.insert_warp(1, entry());
         assert_eq!(cache.warps.len(), 2);
+    }
+
+    #[test]
+    fn class_stats_enable_and_demote() {
+        let mut c = ClassStats::default();
+        // Starts enabled: every block fingerprints, so a regular workload's
+        // intra-grid block hits keep it on from the very first grid.
+        assert!(c.enabled && c.fp_on(1_000_000));
+        // A hot window (>= 50% block hits) keeps full fingerprinting on.
+        for hit in [false, true, true, true] {
+            c.probe(hit);
+        }
+        assert!(c.enabled);
+        c.eval();
+        assert!(c.enabled);
+        // A cold run demotes *mid-grid*, as soon as the window is large
+        // enough — the remaining blocks of a hostile grid trace bare.
+        for _ in 0..EVAL_MIN {
+            c.probe(false);
+        }
+        assert!(!c.enabled);
+        assert!(c.fp_on(0) && c.fp_on(PROBE_BLOCKS - 1));
+        assert!(!c.fp_on(PROBE_BLOCKS));
+        // The boundary eval reaches the same verdict from the full window.
+        c.eval();
+        assert!(!c.enabled);
+        // A recovered probe window (>= 50%) re-enables it — but only at the
+        // grid boundary, since bypassed blocks never fingerprinted.
+        for hit in [true, true, true, false] {
+            c.probe(hit);
+        }
+        assert!(!c.enabled);
+        c.eval();
+        assert!(c.enabled);
+        // Tiny windows (below EVAL_MIN) defer the decision.
+        let mut d = ClassStats::default();
+        for _ in 0..EVAL_MIN - 1 {
+            d.probe(false);
+        }
+        assert!(d.enabled);
+        d.eval();
+        assert!(d.enabled && d.window_attempts == EVAL_MIN - 1);
     }
 
     #[test]

@@ -1,0 +1,881 @@
+//! Parallel host execution: fan one grid's per-block pipeline (trace, scan,
+//! align) out over a work-stealing thread pool, then merge in canonical
+//! block order so the resulting [`crate::Report`] is byte-for-byte identical
+//! to the serial engine at any thread count.
+//!
+//! # Determinism contract
+//!
+//! Everything observable — metrics (bit-identical `f64` sums), hazard
+//! reports, lints, block outcomes, the timeline profiler's replay marks and
+//! child-grid ids — is produced by a *merge* step that walks blocks in
+//! `(grid, block)` order on the main thread. Workers only ever compute
+//! block-local data (traces, per-block hazard state, per-block alignment
+//! deltas); nothing global is mutated off the main thread. Two executor
+//! shapes share that merge:
+//!
+//! - **Serially traced kernels** (the default): functional tracing and the
+//!   hazard scan stay on the main thread, block by block, preserving the
+//!   exact serial order of side effects (child-grid registration, hazard
+//!   records, `sync_children` joins). Only the expensive part — warp
+//!   alignment — is deferred into chunks of `threads * 8` blocks and fanned
+//!   out. Deferred blocks are flushed before any joined child grid executes
+//!   (see [`flush_chunks`]), so the memoization cache always holds exactly
+//!   the content the serial engine would have at the same point.
+//! - **[`crate::Kernel::parallel_trace`] kernels**: whole blocks (tracing
+//!   included) run concurrently. Device launches are collected per block and
+//!   registered afterwards in block order — the same grid-id sequence the
+//!   serial engine assigns — with placeholder ids patched in the traces.
+//!   Hazards recorded mid-trace land in per-block [`CheckState`]s that are
+//!   absorbed, trace-state first then scan-state, per block in order: the
+//!   exact serial interleave.
+//!
+//! # Memoization under concurrency
+//!
+//! The block/warp caches are consulted through a *decide* step on the main
+//! thread that emulates the serial probe sequence: a per-grid pending-key
+//! set stands in for entries that earlier blocks of the same flush window
+//! will insert at merge time, including the serial path's cap bookkeeping.
+//! Workers see a frozen cache snapshot plus a private overlay
+//! ([`WorkerMemo`]); their inserts are published in block order at the
+//! merge. Warp replay is bitwise identical to live alignment, so cache
+//! *content* differences under cap pressure can only show up in hit/miss
+//! statistics ([`crate::profiler::SimStats`]), never in metrics or timing.
+
+use std::collections::VecDeque;
+use std::hash::BuildHasherDefault;
+use std::sync::Mutex;
+
+use crate::block::{align_block, BlockOutcome, WarpMemoView};
+use crate::check::{self, CheckState, GridAccess};
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::ctx::{BlockCtx, ParTrace, TraceHost};
+use crate::engine::{register_grid, Engine, Origin};
+use crate::kernel::{KernelRef, LaunchConfig};
+use crate::memo::{
+    block_key, BlockEntry, BlockFps, FastMap, IdentityHasher, MemoCache, WarpEntry, BLOCK_CAP,
+    WARP_CAP,
+};
+use crate::profiler::KernelMetrics;
+use crate::trace::Op;
+use crate::warp::AlignScratch;
+
+type FastSet = std::collections::HashSet<u64, BuildHasherDefault<IdentityHasher>>;
+
+/// Deferred blocks per pool lane before a flush (serially traced path). A
+/// few blocks of headroom per lane keeps every worker busy without letting
+/// the deferred buffers grow past a small multiple of the thread count.
+const CHUNK_PER_LANE: usize = 8;
+
+/// Recycled per-block buffers: the parallel counterpart of the engine's
+/// single-owner `trace_pool`/`fp_pool`. Sharded per pool lane so workers
+/// take and return without contending on one lock; empty shards steal.
+#[derive(Default)]
+pub(crate) struct BufPool {
+    shards: Vec<Mutex<Vec<BlockBufs>>>,
+}
+
+/// One block's worth of recycled allocations.
+pub(crate) struct BlockBufs {
+    pub traces: Vec<Vec<Op>>,
+    pub fps: BlockFps,
+}
+
+impl BufPool {
+    pub fn ensure_lanes(&mut self, lanes: usize) {
+        if self.shards.len() < lanes {
+            self.shards.resize_with(lanes, Mutex::default);
+        }
+    }
+
+    /// Pop a recycled buffer set, preferring `lane`'s own shard; allocate
+    /// fresh only when every shard is empty (the steady state allocates
+    /// nothing per block).
+    pub fn take(&self, lane: usize) -> BlockBufs {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = &self.shards[(lane + i) % n];
+            let popped = shard.lock().unwrap_or_else(|e| e.into_inner()).pop();
+            if let Some(b) = popped {
+                return b;
+            }
+        }
+        BlockBufs {
+            traces: Vec::new(),
+            fps: BlockFps::default(),
+        }
+    }
+
+    pub fn put(&self, lane: usize, bufs: BlockBufs) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let shard = &self.shards[lane % self.shards.len()];
+        shard.lock().unwrap_or_else(|e| e.into_inner()).push(bufs);
+    }
+}
+
+/// How the merge step handles one block, fixed by the main-thread decide
+/// pass (which emulates the serial cache-probe sequence exactly).
+#[derive(Debug, Clone, Copy)]
+enum Decision {
+    /// Replay the block-cache entry under `key` (already in the cache, or
+    /// published by an earlier block of the same flush window by the time
+    /// this block merges).
+    Replay { key: u64 },
+    /// Align live. `bkey` carries the block-cache insert key when the block
+    /// is cacheable and the (projected) cache had room; `memo_on` gates the
+    /// worker's warp-cache view; `probe_miss` records that the serial path
+    /// would have counted a block-cache miss here.
+    Align {
+        bkey: Option<u64>,
+        memo_on: bool,
+        probe_miss: bool,
+    },
+}
+
+/// Warp-entry inserts and statistics a worker produced for one block,
+/// published in canonical block order at the merge.
+struct WorkerPublish {
+    inserts: Vec<(u64, WarpEntry)>,
+    warp_hits: u64,
+    warp_misses: u64,
+    ops_replayed: u64,
+}
+
+/// A worker's alignment output for one block.
+struct Aligned {
+    out: BlockOutcome,
+    delta: KernelMetrics,
+    publish: Option<WorkerPublish>,
+}
+
+/// One block moving through the parallel pipeline. The serially traced
+/// path fills only the trace/decision fields; the `parallel_trace` path
+/// additionally carries per-block hazard state and pending launches.
+pub(crate) struct ParBlock {
+    traces: Vec<Vec<Op>>,
+    fps: BlockFps,
+    fp_on: bool,
+    sanitized: bool,
+    ops: u64,
+    decision: Decision,
+    /// Hazards recorded while tracing (invalid child launches) — par-traced
+    /// blocks only; the serial trace records directly into the engine.
+    trace_check: Option<CheckState>,
+    /// Device launches pending canonical registration — par-traced only.
+    launches: Vec<crate::ctx::ParLaunch>,
+    /// Hazards recorded by the scan pass — par-traced only.
+    scan_check: Option<CheckState>,
+    /// Global-access intervals from the scan pass — par-traced only.
+    gaccess: Option<GridAccess>,
+    result: Option<Aligned>,
+}
+
+impl ParBlock {
+    fn new(traces: Vec<Vec<Op>>, fps: BlockFps, fp_on: bool) -> Self {
+        ParBlock {
+            traces,
+            fps,
+            fp_on,
+            sanitized: false,
+            ops: 0,
+            decision: Decision::Align {
+                bkey: None,
+                memo_on: false,
+                probe_miss: false,
+            },
+            trace_check: None,
+            launches: Vec::new(),
+            scan_check: None,
+            gaccess: None,
+            result: None,
+        }
+    }
+}
+
+/// Per-grid state of the serially traced executor, engine-resident so that
+/// [`flush_chunks`] can publish deferred blocks from inside a
+/// `sync_children` join. The innermost tracing grid is the top of the
+/// stack; every state below it has an empty deferred list (its grid is
+/// suspended inside a flush-preceded join), so flushing the top alone
+/// restores the full serial cache/metrics chronology.
+pub(crate) struct ChunkState {
+    grid: usize,
+    pending: FastSet,
+    deferred: Vec<ParBlock>,
+    grid_metrics: KernelMetrics,
+    gaccess: GridAccess,
+    window_attempts: u32,
+    window_hits: u32,
+}
+
+/// Frozen-snapshot warp-cache view for one block's alignment on a worker:
+/// reads hit the engine cache as of the flush plus this block's own
+/// overlay; inserts stay private until the merge publishes them in block
+/// order. Replay is bitwise identical to live alignment (see
+/// [`WarpMemoView`]), so which view served a hit never shows in metrics.
+struct WorkerMemo<'a> {
+    frozen: &'a MemoCache,
+    fps: &'a BlockFps,
+    overlay: FastMap<WarpEntry>,
+    inserts: Vec<u64>,
+    warp_hits: u64,
+    warp_misses: u64,
+    ops_replayed: u64,
+}
+
+impl WorkerMemo<'_> {
+    fn into_publish(mut self) -> WorkerPublish {
+        let overlay = &mut self.overlay;
+        let inserts = self
+            .inserts
+            .iter()
+            .filter_map(|k| overlay.remove(k).map(|e| (*k, e)))
+            .collect();
+        WorkerPublish {
+            inserts,
+            warp_hits: self.warp_hits,
+            warp_misses: self.warp_misses,
+            ops_replayed: self.ops_replayed,
+        }
+    }
+}
+
+impl WarpMemoView for WorkerMemo<'_> {
+    fn fps(&self) -> &BlockFps {
+        self.fps
+    }
+
+    fn replay(&mut self, key: u64, delta: &mut KernelMetrics) -> Option<f64> {
+        let e = match self.frozen.warps.get(&key) {
+            Some(e) => e,
+            None => self.overlay.get(&key)?,
+        };
+        let (cycles, ops) = (e.cycles, e.ops);
+        delta.merge(&e.metrics);
+        self.warp_hits += 1;
+        self.ops_replayed += ops;
+        Some(cycles)
+    }
+
+    fn miss(&mut self) {
+        self.warp_misses += 1;
+    }
+
+    fn full(&self) -> bool {
+        self.frozen.warps.len() + self.overlay.len() >= WARP_CAP
+    }
+
+    fn store(&mut self, key: u64, entry: WarpEntry) {
+        if self.overlay.insert(key, entry).is_none() {
+            self.inserts.push(key);
+        }
+    }
+}
+
+/// Recursively split `items` across the pool: run the left half here, spawn
+/// the right half as a stealable task. Workers that pick up a task split
+/// again — nested submission from worker lanes — so the fan-out
+/// self-balances regardless of which lanes are busy.
+fn split_tasks<'env, W, T, F>(
+    scope: &npar_par::Scope<'env, W>,
+    w: &mut W,
+    base: usize,
+    items: &'env mut [T],
+    f: &'env F,
+) where
+    T: Send,
+    F: Fn(&npar_par::Scope<'env, W>, &mut W, usize, &mut T) + Sync,
+{
+    let mut items = items;
+    loop {
+        match items.len() {
+            0 => return,
+            1 => {
+                f(scope, w, base, &mut items[0]);
+                return;
+            }
+            n => {
+                let mid = n / 2;
+                let (left, right) = items.split_at_mut(mid);
+                let rbase = base + mid;
+                scope.spawn(move |sc, w2| split_tasks(sc, w2, rbase, right, f));
+                items = left;
+            }
+        }
+    }
+}
+
+/// Reproduce the serial cache-probe sequence for one block without touching
+/// the cache: `pending` stands in for same-window inserts that the merge
+/// will publish before this block, and `cache.blocks.len() + pending.len()`
+/// is exactly the serial cache size at this block's probe.
+fn decide(
+    memo: Option<&MemoCache>,
+    pending: &mut FastSet,
+    fps: &BlockFps,
+    cfg: &LaunchConfig,
+    fp_on: bool,
+    sanitized: bool,
+) -> Decision {
+    let off = Decision::Align {
+        bkey: None,
+        memo_on: false,
+        probe_miss: false,
+    };
+    let Some(cache) = memo else { return off };
+    if !fp_on || sanitized {
+        return off;
+    }
+    if fps.any_launch() {
+        // Excluded from the block cache (run-specific grid ids), but the
+        // warp cache still serves the block's launch-free warps.
+        return Decision::Align {
+            bkey: None,
+            memo_on: true,
+            probe_miss: false,
+        };
+    }
+    let key = block_key(fps, cfg);
+    if cache.blocks.contains_key(&key) || pending.contains(&key) {
+        return Decision::Replay { key };
+    }
+    if cache.blocks.len() + pending.len() < BLOCK_CAP {
+        pending.insert(key);
+        Decision::Align {
+            bkey: Some(key),
+            memo_on: true,
+            probe_miss: true,
+        }
+    } else {
+        Decision::Align {
+            bkey: None,
+            memo_on: true,
+            probe_miss: true,
+        }
+    }
+}
+
+/// Align one block on whichever thread holds `scratch` (a worker or the
+/// scope owner helping). Replay blocks pass through untouched — their
+/// outcome is cloned from the cache at merge time.
+fn align_one(
+    db: &mut ParBlock,
+    device: &DeviceConfig,
+    cost: &CostModel,
+    frozen: Option<&MemoCache>,
+    scratch: &mut AlignScratch,
+) {
+    let Decision::Align { memo_on, .. } = db.decision else {
+        return;
+    };
+    let mut delta = KernelMetrics::default();
+    let mut memo = if memo_on {
+        frozen.map(|cache| WorkerMemo {
+            frozen: cache,
+            fps: &db.fps,
+            overlay: FastMap::default(),
+            inserts: Vec::new(),
+            warp_hits: 0,
+            warp_misses: 0,
+            ops_replayed: 0,
+        })
+    } else {
+        None
+    };
+    let out = align_block(&db.traces, device, cost, scratch, &mut memo, &mut delta);
+    let publish = memo.map(WorkerMemo::into_publish);
+    db.result = Some(Aligned {
+        out,
+        delta,
+        publish,
+    });
+}
+
+/// Publish one block on the main thread, in canonical block order: absorb
+/// its hazard states (trace first, then scan — the serial interleave),
+/// splice its access intervals, replay or insert cache entries, and merge
+/// its metrics delta. This is the only place global state changes.
+#[allow(clippy::too_many_arguments)]
+fn merge_block(
+    engine: &mut Engine,
+    grid: usize,
+    mut db: ParBlock,
+    gm: &mut KernelMetrics,
+    gaccess: &mut GridAccess,
+    window_attempts: &mut u32,
+    window_hits: &mut u32,
+) {
+    if let Some(tc) = db.trace_check.take() {
+        engine.check.absorb(tc);
+    }
+    if let Some(sc) = db.scan_check.take() {
+        engine.check.absorb(sc);
+    }
+    if let Some(ga) = db.gaccess.take() {
+        gaccess.absorb(ga);
+    }
+    engine.stats.ops_traced += db.ops;
+    let mut replayed = false;
+    match db.decision {
+        Decision::Replay { key } => {
+            replayed = true;
+            let cache = engine.memo.as_ref().expect("replay implies memoization");
+            let e = cache
+                .blocks
+                .get(&key)
+                .expect("replayed entry published by an earlier block in merge order");
+            engine.stats.block_hits += 1;
+            engine.stats.ops_replayed += e.ops;
+            gm.merge(&e.metrics);
+            let mut out = e.outcome.clone();
+            out.replayed = true;
+            engine.grids[grid].blocks.push(out);
+        }
+        Decision::Align {
+            bkey, probe_miss, ..
+        } => {
+            if probe_miss {
+                engine.stats.block_misses += 1;
+            }
+            let a = db.result.take().expect("block aligned in the flush scope");
+            if let Some(p) = a.publish {
+                engine.stats.warp_hits += p.warp_hits;
+                engine.stats.warp_misses += p.warp_misses;
+                engine.stats.ops_replayed += p.ops_replayed;
+                if let Some(cache) = engine.memo.as_mut() {
+                    for (k, e) in p.inserts {
+                        cache.insert_warp(k, e);
+                    }
+                }
+            }
+            if let Some(key) = bkey {
+                if let Some(cache) = engine.memo.as_mut() {
+                    cache.insert_block(
+                        key,
+                        BlockEntry {
+                            outcome: a.out.clone(),
+                            metrics: a.delta.clone(),
+                            ops: db.ops,
+                        },
+                    );
+                }
+            }
+            gm.merge(&a.delta);
+            engine.grids[grid].blocks.push(a.out);
+        }
+    }
+    let probed = replayed
+        || matches!(
+            db.decision,
+            Decision::Align {
+                probe_miss: true,
+                ..
+            }
+        );
+    if probed {
+        *window_attempts += 1;
+        *window_hits += u32::from(replayed);
+    }
+    engine.bufs.put(
+        0,
+        BlockBufs {
+            traces: db.traces,
+            fps: db.fps,
+        },
+    );
+}
+
+/// Publish the innermost grid's deferred blocks (align in parallel, merge
+/// in block order). Called between chunks by the serially traced executor
+/// and — crucially — from a `sync_children` join *before* any child grid
+/// executes, so nested grids observe exactly the cache, checker and
+/// metrics state the serial engine would have at that point.
+pub(crate) fn flush_chunks(engine: &mut Engine) {
+    if engine.chunks.is_empty() {
+        return;
+    }
+    flush_top(engine);
+}
+
+fn flush_top(engine: &mut Engine) {
+    let Some(mut cs) = engine.chunks.pop() else {
+        return;
+    };
+    if !cs.deferred.is_empty() {
+        let mut blocks = std::mem::take(&mut cs.deferred);
+        {
+            let Engine {
+                pool,
+                memo,
+                device,
+                cost,
+                ..
+            } = &*engine;
+            let pool = pool.as_ref().expect("parallel path without a pool");
+            let frozen = memo.as_ref();
+            let task =
+                move |_s: &npar_par::Scope<'_, AlignScratch>,
+                      w: &mut AlignScratch,
+                      _i: usize,
+                      db: &mut ParBlock| { align_one(db, device, cost, frozen, w) };
+            pool.scope(|scope, w| split_tasks(scope, w, 0, &mut blocks, &task));
+        }
+        let grid = cs.grid;
+        for db in blocks {
+            merge_block(
+                engine,
+                grid,
+                db,
+                &mut cs.grid_metrics,
+                &mut cs.gaccess,
+                &mut cs.window_attempts,
+                &mut cs.window_hits,
+            );
+        }
+        cs.pending.clear();
+    }
+    engine.chunks.push(cs);
+}
+
+/// Parallel counterpart of [`crate::engine::run_grid`]: same breadth-first
+/// descendant order, per-grid execution fanned out.
+pub(crate) fn run_grid_par(engine: &mut Engine, id: usize) {
+    prepare(engine);
+    let mut queue = VecDeque::from([id]);
+    while let Some(g) = queue.pop_front() {
+        execute_blocks_par(engine, g);
+        queue.extend(engine.grids[g].children.iter().copied());
+    }
+}
+
+/// Parallel counterpart of [`crate::engine::run_subtree`] (depth-first join
+/// of a child grid and its descendants).
+pub(crate) fn run_subtree_par(engine: &mut Engine, id: usize) {
+    prepare(engine);
+    execute_blocks_par(engine, id);
+    let mut next = 0;
+    while next < engine.grids[id].children.len() {
+        let child = engine.grids[id].children[next];
+        run_subtree_par(engine, child);
+        next += 1;
+    }
+}
+
+fn prepare(engine: &mut Engine) {
+    engine.ensure_pool();
+    let lanes = engine.threads;
+    engine.bufs.ensure_lanes(lanes);
+}
+
+fn execute_blocks_par(engine: &mut Engine, id: usize) {
+    if engine.grids[id].kernel.is_none() {
+        return; // already executed
+    }
+    let cfg = engine.grids[id].cfg;
+    if cfg.grid_dim == 1 {
+        // Nothing to fan out; the serial path is cheaper and the merged
+        // result is identical by construction.
+        return crate::engine::execute_blocks(engine, id);
+    }
+    let Some(kernel) = engine.grids[id].kernel.take() else {
+        return;
+    };
+    let name = kernel.name().to_string();
+    if kernel.parallel_trace() {
+        execute_par_traced(engine, id, kernel, cfg, name);
+    } else {
+        execute_serial_traced(engine, id, kernel, cfg, name);
+    }
+}
+
+/// Chunked executor for kernels without the `parallel_trace` opt-in: trace,
+/// scan and decide serially on the main thread (the exact serial order of
+/// every side effect), defer alignment, flush in chunks.
+fn execute_serial_traced(
+    engine: &mut Engine,
+    id: usize,
+    kernel: KernelRef,
+    cfg: LaunchConfig,
+    name: String,
+) {
+    let memo_enabled = engine.memo.is_some();
+    // Block-local policy copy, probed in trace order exactly like the
+    // serial engine's: a cold class demotes mid-grid, so the chunked path
+    // fingerprints the same block set the serial path would.
+    let mut class = engine.memo_classes.get(&name).copied().unwrap_or_default();
+    engine.chunks.push(ChunkState {
+        grid: id,
+        pending: FastSet::default(),
+        deferred: Vec::new(),
+        grid_metrics: KernelMetrics::default(),
+        gaccess: GridAccess::default(),
+        window_attempts: 0,
+        window_hits: 0,
+    });
+    let chunk_cap = engine.threads * CHUNK_PER_LANE;
+    for b in 0..cfg.grid_dim {
+        let fp_on = memo_enabled && class.fp_on(b);
+        let bufs = engine.bufs.take(0);
+        let mut blk = BlockCtx::new(
+            TraceHost::Serial(engine),
+            kernel.as_ref(),
+            id,
+            b,
+            cfg,
+            bufs.traces,
+            bufs.fps,
+            fp_on,
+        );
+        kernel.run_block(&mut blk);
+        let (mut traces, fps, pending_children, _host) = blk.into_parts();
+        debug_assert!(
+            pending_children
+                .iter()
+                .all(|c| engine.grids[id].children.binary_search(c).is_ok()),
+            "pending launches must be registered children"
+        );
+        let cs = engine.chunks.last_mut().expect("chunk state pushed above");
+        let sanitized = check::scan_block(
+            &mut engine.check,
+            &mut traces,
+            &name,
+            id,
+            b,
+            &cfg,
+            &mut cs.gaccess,
+        );
+        let ops = traces.iter().map(|t| t.len() as u64).sum();
+        let decision = decide(
+            engine.memo.as_ref(),
+            &mut cs.pending,
+            &fps,
+            &cfg,
+            fp_on,
+            sanitized,
+        );
+        // A replay decision is exactly a serial block-cache hit and a
+        // probe miss exactly a serial miss, so probing here keeps the
+        // mid-grid demotion sequence identical to the serial engine's.
+        match decision {
+            Decision::Replay { .. } => class.probe(true),
+            Decision::Align {
+                probe_miss: true, ..
+            } => class.probe(false),
+            Decision::Align { .. } => {}
+        }
+        let mut db = ParBlock::new(traces, fps, fp_on);
+        db.sanitized = sanitized;
+        db.ops = ops;
+        db.decision = decision;
+        cs.deferred.push(db);
+        if cs.deferred.len() >= chunk_cap {
+            flush_top(engine);
+        }
+    }
+    flush_top(engine);
+    let cs = engine.chunks.pop().expect("chunk state pushed above");
+    check::finish_grid(&mut engine.check, &name, id, cs.gaccess);
+    if memo_enabled {
+        let entry = engine.memo_classes.entry(name.clone()).or_default();
+        entry.window_attempts += cs.window_attempts;
+        entry.window_hits += cs.window_hits;
+        entry.eval();
+    }
+    engine
+        .metrics
+        .entry(name)
+        .or_default()
+        .merge(&cs.grid_metrics);
+}
+
+/// Fully concurrent executor for [`crate::Kernel::parallel_trace`] kernels:
+/// trace all blocks in one scope, register + patch launches canonically,
+/// scan in a second scope, decide serially, align in a third scope, merge.
+fn execute_par_traced(
+    engine: &mut Engine,
+    id: usize,
+    kernel: KernelRef,
+    cfg: LaunchConfig,
+    name: String,
+) {
+    let memo_enabled = engine.memo.is_some();
+    // Grid-start policy snapshot. Unlike the trace-order executors this
+    // path cannot demote mid-grid — every block fingerprints before any
+    // probe resolves — but the boundary eval still demotes a cold class
+    // for the grids after this one. Policy is report-invariant, so the
+    // divergence from the serial sequence is host-side only.
+    let class = engine.memo_classes.get(&name).copied().unwrap_or_default();
+    let level = engine.check.level;
+    let n = cfg.grid_dim as usize;
+    let mut slots: Vec<Option<ParBlock>> = (0..n).map(|_| None).collect();
+
+    // Phase 1: trace every block concurrently against a worker-local host.
+    {
+        let Engine {
+            pool, bufs, device, ..
+        } = &*engine;
+        let pool = pool.as_ref().expect("pool ensured by run_grid_par");
+        let kernel = &kernel;
+        let name = &name;
+        let trace_one = move |scope: &npar_par::Scope<'_, AlignScratch>,
+                              _w: &mut AlignScratch,
+                              i: usize,
+                              slot: &mut Option<ParBlock>| {
+            let fp_on = memo_enabled && class.fp_on(i as u32);
+            let bb = bufs.take(scope.lane());
+            let host = TraceHost::Par(ParTrace {
+                device,
+                grid_name: name,
+                grid_id: id,
+                check: CheckState::new(level),
+                launches: Vec::new(),
+            });
+            let mut blk = BlockCtx::new(
+                host,
+                kernel.as_ref(),
+                id,
+                i as u32,
+                cfg,
+                bb.traces,
+                bb.fps,
+                fp_on,
+            );
+            kernel.run_block(&mut blk);
+            let (traces, fps, pending, host) = blk.into_parts();
+            debug_assert!(pending.is_empty(), "par host defers all registration");
+            let TraceHost::Par(pt) = host else {
+                unreachable!("par-traced block keeps its par host")
+            };
+            let mut pb = ParBlock::new(traces, fps, fp_on);
+            pb.trace_check = Some(pt.check);
+            pb.launches = pt.launches;
+            *slot = Some(pb);
+        };
+        pool.scope(|scope, w| split_tasks(scope, w, 0, &mut slots, &trace_one));
+    }
+
+    // Phase 2: register child grids in canonical (block, thread, launch)
+    // order — the id sequence the serial engine assigns — and patch the
+    // placeholder ids in the traces. The fingerprint fold ignores grid
+    // ids, so patching never invalidates a rolled fingerprint.
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let pb = slot.as_mut().expect("trace scope filled every slot");
+        if pb.launches.is_empty() {
+            continue;
+        }
+        let map: Vec<u32> = pb
+            .launches
+            .drain(..)
+            .map(|l| {
+                let child = register_grid(
+                    engine,
+                    &l.kernel,
+                    l.cfg,
+                    Origin::Device {
+                        parent: id,
+                        block: i as u32,
+                        stream_slot: l.stream_slot,
+                    },
+                );
+                u32::try_from(child).expect("grid id overflow")
+            })
+            .collect();
+        for t in &mut pb.traces {
+            for op in t.iter_mut() {
+                if let Op::Launch { grid } = op {
+                    *grid = map[*grid as usize];
+                }
+            }
+        }
+    }
+
+    // Phase 3: hazard scan per block, concurrently, into per-block state.
+    {
+        let Engine { pool, .. } = &*engine;
+        let pool = pool.as_ref().expect("pool ensured by run_grid_par");
+        let name = &name;
+        let cfg_ref = &cfg;
+        let scan_one = move |_s: &npar_par::Scope<'_, AlignScratch>,
+                             _w: &mut AlignScratch,
+                             i: usize,
+                             slot: &mut Option<ParBlock>| {
+            let pb = slot.as_mut().expect("traced");
+            let mut st = CheckState::new(level);
+            let mut ga = GridAccess::default();
+            pb.sanitized = check::scan_block(
+                &mut st,
+                &mut pb.traces,
+                name,
+                id,
+                i as u32,
+                cfg_ref,
+                &mut ga,
+            );
+            pb.ops = pb.traces.iter().map(|t| t.len() as u64).sum();
+            pb.scan_check = Some(st);
+            pb.gaccess = Some(ga);
+        };
+        pool.scope(|scope, w| split_tasks(scope, w, 0, &mut slots, &scan_one));
+    }
+
+    // Phase 4: serial decide in block order (cache-probe emulation).
+    let mut pending = FastSet::default();
+    for slot in slots.iter_mut() {
+        let pb = slot.as_mut().expect("traced");
+        pb.decision = decide(
+            engine.memo.as_ref(),
+            &mut pending,
+            &pb.fps,
+            &cfg,
+            pb.fp_on,
+            pb.sanitized,
+        );
+    }
+
+    // Phase 5: align concurrently against the frozen cache.
+    {
+        let Engine {
+            pool,
+            memo,
+            device,
+            cost,
+            ..
+        } = &*engine;
+        let pool = pool.as_ref().expect("pool ensured by run_grid_par");
+        let frozen = memo.as_ref();
+        let align_task = move |_s: &npar_par::Scope<'_, AlignScratch>,
+                               w: &mut AlignScratch,
+                               _i: usize,
+                               slot: &mut Option<ParBlock>| {
+            align_one(slot.as_mut().expect("traced"), device, cost, frozen, w);
+        };
+        pool.scope(|scope, w| split_tasks(scope, w, 0, &mut slots, &align_task));
+    }
+
+    // Phase 6: canonical merge.
+    let mut grid_metrics = KernelMetrics::default();
+    let mut gaccess = GridAccess::default();
+    let (mut window_attempts, mut window_hits) = (0u32, 0u32);
+    for slot in slots.iter_mut() {
+        let pb = slot.take().expect("traced");
+        merge_block(
+            engine,
+            id,
+            pb,
+            &mut grid_metrics,
+            &mut gaccess,
+            &mut window_attempts,
+            &mut window_hits,
+        );
+    }
+    check::finish_grid(&mut engine.check, &name, id, gaccess);
+    if memo_enabled {
+        let entry = engine.memo_classes.entry(name.clone()).or_default();
+        entry.window_attempts += window_attempts;
+        entry.window_hits += window_hits;
+        entry.eval();
+    }
+    engine.metrics.entry(name).or_default().merge(&grid_metrics);
+}

@@ -1,13 +1,14 @@
 //! Writing a kernel directly against the simulator API: a histogram with
 //! global atomics, in a coalesced and an uncoalesced variant, showing how
-//! the profiler exposes memory behaviour and atomic contention.
+//! the profiler exposes memory behaviour and atomic contention — and how a
+//! kernel opts into multi-threaded host tracing (DESIGN.md §10).
 //!
 //! ```sh
 //! cargo run --release --example custom_kernel
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use npar_sim::SyncCell;
+use std::sync::Arc;
 
 use npar::sim::{GBuf, Gpu, LaunchConfig, ThreadCtx, ThreadKernel};
 
@@ -15,7 +16,7 @@ struct Histogram {
     /// Input values.
     data: Vec<u32>,
     /// Bin counts (functional result).
-    bins: RefCell<Vec<u32>>,
+    bins: SyncCell<Vec<u32>>,
     data_buf: GBuf<u32>,
     bins_buf: GBuf<u32>,
     /// Strided (uncoalesced) or linear (coalesced) input access.
@@ -29,6 +30,13 @@ impl ThreadKernel for Histogram {
         } else {
             "histogram-linear"
         }
+    }
+    /// Safe to trace blocks concurrently: the only shared functional state
+    /// is the bin counters, and `+= 1` under the `SyncCell` lock commutes —
+    /// every block order yields the same bins, and the recorded per-block
+    /// traces don't depend on other blocks at all.
+    fn parallel_trace(&self) -> bool {
+        true
     }
     fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
         let n = self.data.len();
@@ -60,10 +68,14 @@ fn main() {
     let data: Vec<u32> = (0..n as u32).map(|x| x.wrapping_mul(2654435761)).collect();
 
     for strided in [false, true] {
-        let mut gpu = Gpu::k20();
-        let k = Rc::new(Histogram {
+        // Host-side parallelism: trace/align blocks on up to 4 worker
+        // threads. Purely a wall-clock knob — the report below is
+        // byte-identical at any thread count (or with no call at all,
+        // which defaults to NPAR_THREADS / the machine's core count).
+        let mut gpu = Gpu::k20().with_threads(4);
+        let k = Arc::new(Histogram {
             data: data.clone(),
-            bins: RefCell::new(vec![0; 64]),
+            bins: SyncCell::new(vec![0; 64]),
             data_buf: gpu.alloc::<u32>(n),
             bins_buf: gpu.alloc::<u32>(64),
             strided,

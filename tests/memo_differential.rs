@@ -5,7 +5,7 @@
 //! at every checker level. Only [`SimStats`] (wall time, hit counters) may
 //! differ between the two modes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use npar::apps::{bfs, sort, spmv, sssp, tree_apps};
 use npar::core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
@@ -123,7 +123,7 @@ fn launch_saxpy(gpu: &mut Gpu, launches: usize) -> Report {
     let n = 64 * 128;
     let x = gpu.alloc::<f32>(n);
     let y = gpu.alloc::<f32>(n);
-    let k = Rc::new(Saxpy { n, x, y });
+    let k = Arc::new(Saxpy { n, x, y });
     for _ in 0..launches {
         gpu.launch(k.clone(), LaunchConfig::new(64, 128)).unwrap();
     }
