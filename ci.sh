@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Repository CI gate: formatting, lints, build, tests, and the simulator
-# throughput benchmark (fails on a >2x regression against the checked-in
-# crates/bench/BENCH_sim_baseline.json — refresh with
+# throughput benchmark. simbench fails on a >2x throughput regression, a
+# timing-pass fast-path gain dropping below 0.7x of the stored ratio, or
+# the heterogeneous (divergent) workload paying >3% wall for the fast
+# paths — all against the checked-in crates/bench/BENCH_sim_baseline.json
+# (refresh with
 #   cargo run --release -p npar-bench --bin simbench -- --update-baseline).
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -11,7 +14,9 @@ cargo clippy --all-targets -- -D warnings
 cargo build --release
 # Once pinned to the serial executor, once at the machine's default thread
 # count (the parallel executor when >1 core) — reports must be bit-identical
-# either way (tests/parallel_differential.rs), so both runs must pass.
+# either way (tests/parallel_differential.rs), so both runs must pass. The
+# scheduler-equivalence suite (tests/sched_differential.rs) rides in both
+# passes, pinning fast-forward on/off byte-equality at each thread count.
 NPAR_THREADS=1 cargo test -q
 cargo test -q
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps

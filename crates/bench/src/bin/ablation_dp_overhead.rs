@@ -5,6 +5,12 @@
 //! device-launch service/latency pair from one quarter to four times the
 //! default and reports the SSSP template ordering and the tree-template
 //! ordering at each point.
+//!
+//! The dpar-naive column is additionally re-run with the timing-pass fast
+//! paths disabled (`--fast-forward=off` semantics, DESIGN.md §11) as a
+//! standing ablation of the scheduler mechanisms on the launch-storm
+//! workload; the modeled seconds must be identical — the fast paths are a
+//! host-side speedup, not a model change — and the sweep asserts so.
 
 use npar_apps::{sssp, tree_apps};
 use npar_bench::{datasets, results, runner, table};
@@ -19,12 +25,16 @@ struct Row {
     sssp_dbuf_shared: f64,
     sssp_dpar_opt: f64,
     sssp_dpar_naive: f64,
+    /// dpar-naive with the timing-pass fast paths disabled: must equal
+    /// `sssp_dpar_naive` exactly (determinism contract).
+    sssp_dpar_naive_ffoff: f64,
     tree_flat: f64,
     tree_rec_hier: f64,
     tree_rec_naive: f64,
 }
 
 fn main() {
+    runner::init();
     let g = datasets::citeseer();
     let tree = datasets::fig78_tree(128, 0);
     let scales = vec![0.25f64, 0.5, 1.0, 2.0, 4.0];
@@ -38,13 +48,15 @@ fn main() {
             cost.device_launch_latency_cycles *= scale;
             cost.device_launch_issue_cycles *= scale;
 
-            let sssp_time = |template| {
+            let sssp_time_ff = |template, fast_forward: bool| {
                 let mut gpu =
-                    runner::with_check_flag(Gpu::new(DeviceConfig::kepler_k20(), cost.clone()));
+                    runner::with_check_flag(Gpu::new(DeviceConfig::kepler_k20(), cost.clone()))
+                        .with_fast_forward(fast_forward);
                 sssp::sssp_gpu(&mut gpu, &g, 0, template, &LoopParams::with_lb_thres(32))
                     .report
                     .seconds
             };
+            let sssp_time = |template| sssp_time_ff(template, runner::fast_forward_enabled());
             let tree_time = |template| {
                 let mut gpu =
                     runner::with_check_flag(Gpu::new(DeviceConfig::kepler_k20(), cost.clone()));
@@ -58,12 +70,20 @@ fn main() {
                 .report
                 .seconds
             };
+            let dpar_naive = sssp_time_ff(LoopTemplate::DparNaive, true);
+            let dpar_naive_ffoff = sssp_time_ff(LoopTemplate::DparNaive, false);
+            assert_eq!(
+                dpar_naive.to_bits(),
+                dpar_naive_ffoff.to_bits(),
+                "fast paths changed modeled time at scale {scale}"
+            );
             Row {
                 overhead_scale: scale,
                 sssp_baseline: sssp_time(LoopTemplate::ThreadMapped),
                 sssp_dbuf_shared: sssp_time(LoopTemplate::DbufShared),
                 sssp_dpar_opt: sssp_time(LoopTemplate::DparOpt),
-                sssp_dpar_naive: sssp_time(LoopTemplate::DparNaive),
+                sssp_dpar_naive: dpar_naive,
+                sssp_dpar_naive_ffoff: dpar_naive_ffoff,
                 tree_flat: tree_time(RecTemplate::Flat),
                 tree_rec_hier: tree_time(RecTemplate::RecHier),
                 tree_rec_naive: tree_time(RecTemplate::RecNaive),
@@ -79,6 +99,7 @@ fn main() {
             "dbuf-shared",
             "dpar-opt",
             "dpar-naive",
+            "naive (ffwd off)",
             "tree flat",
             "rec-hier",
             "rec-naive",
@@ -91,6 +112,7 @@ fn main() {
             table::ms(r.sssp_dbuf_shared),
             table::ms(r.sssp_dpar_opt),
             table::ms(r.sssp_dpar_naive),
+            table::ms(r.sssp_dpar_naive_ffoff),
             table::ms(r.tree_flat),
             table::ms(r.tree_rec_hier),
             table::ms(r.tree_rec_naive),

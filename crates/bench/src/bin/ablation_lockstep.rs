@@ -21,6 +21,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let g = datasets::citeseer();
     let models = vec![DivergenceModel::Lockstep, DivergenceModel::MaxLane];
     let rows: Vec<Row> = runner::parallel_map(models, move |model| {

@@ -3,6 +3,7 @@
 //! check and the ablations. Each sub-experiment writes its tables under
 //! `results/`.
 
+use npar_bench::runner;
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
@@ -21,12 +22,15 @@ const EXPERIMENTS: &[&str] = &[
 ];
 
 fn main() {
+    runner::init();
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
+    let flags: Vec<String> = std::env::args().skip(1).collect();
     let mut failures = Vec::new();
     for exp in EXPERIMENTS {
         println!("\n##### {exp} #####");
         let status = Command::new(dir.join(exp))
+            .args(&flags)
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e}"));
         if !status.success() {

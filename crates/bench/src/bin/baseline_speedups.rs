@@ -22,6 +22,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let rows = runner::with_big_stack(run);
     let mut t = table::Table::new(
         "Baseline thread-mapped GPU vs serial CPU (paper §III.B)",

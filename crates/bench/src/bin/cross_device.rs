@@ -18,6 +18,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let g = datasets::citeseer();
     let devices = vec![DeviceConfig::kepler_k20(), DeviceConfig::gtx_titan()];
     let templates = [

@@ -18,6 +18,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     // Paper sizes 300k..2M, scaled with the rest of the harness.
     let scale = datasets::scale().max(0.1);
     let sizes: Vec<usize> = [300_000f64, 700_000.0, 1_200_000.0, 2_000_000.0]

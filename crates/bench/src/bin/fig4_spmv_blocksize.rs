@@ -19,6 +19,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let g = datasets::citeseer();
     let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
 

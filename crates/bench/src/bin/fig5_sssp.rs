@@ -17,6 +17,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let g = datasets::citeseer();
     println!(
         "dataset: CiteSeer-like, {}",

@@ -80,6 +80,7 @@ fn to_table(title: &str, rows: &[Row]) -> table::Table {
 }
 
 fn main() {
+    runner::init();
     let mut all_rows = Vec::new();
     let mut tables = Vec::new();
 

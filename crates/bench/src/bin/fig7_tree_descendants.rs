@@ -3,9 +3,10 @@
 //! sparsity (irregular trees), plus profiling data.
 
 use npar_apps::tree_apps::TreeMetric;
-use npar_bench::{results, tree_experiment};
+use npar_bench::{results, runner, tree_experiment};
 
 fn main() {
+    runner::init();
     let (tables, rows) = tree_experiment::run(TreeMetric::Descendants);
     results::save("fig7_tree_descendants", &tables, &rows);
 }

@@ -2,9 +2,10 @@
 //! Figure 7 with the max-reduction metric.
 
 use npar_apps::tree_apps::TreeMetric;
-use npar_bench::{results, tree_experiment};
+use npar_bench::{results, runner, tree_experiment};
 
 fn main() {
+    runner::init();
     let (tables, rows) = tree_experiment::run(TreeMetric::Heights);
     results::save("fig8_tree_heights", &tables, &rows);
 }

@@ -28,6 +28,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     // The paper uses 50k nodes; the simulator default scales alongside the
     // other datasets (NPAR_SCALE=1.0 restores the paper size).
     let n = ((50_000.0 * datasets::scale().max(0.1)) as usize).max(2_000);

@@ -18,13 +18,22 @@
 //! are order-independent and never join children mid-block — so the sweep
 //! exercises the fully concurrent executor.
 //!
+//! A third axis measures the event-driven timing pass itself
+//! (DESIGN.md §11): each workload runs with `--fast-forward` on vs off and
+//! reports the timing-pass speedup from cohort batching + the
+//! homogeneous-grid wheel (`regular` and `dp-heavy` are uniform and gain;
+//! `divergent` is the all-heterogeneous worst case and must stay within 3%
+//! on wall time).
+//!
 //! Writes `results/BENCH_sim.{txt,md,json}` and compares throughput to the
 //! checked-in `BENCH_sim_baseline.json`, exiting nonzero on a >2x
-//! regression. Refresh the baseline with `--update-baseline`.
+//! throughput regression, a timing-pass fast-path speedup below 70% of the
+//! baseline ratio, or a >3% divergent wall regression from the fast paths.
+//! Refresh the baseline with `--update-baseline`.
 
 use std::sync::Arc;
 
-use npar_bench::{results, table};
+use npar_bench::{results, runner, table};
 use npar_sim::{Gpu, KernelRef, LaunchConfig, Report, Stream, ThreadCtx, ThreadKernel};
 use serde::{Deserialize, Serialize};
 
@@ -143,8 +152,11 @@ impl ThreadKernel for DpParent {
 /// Host worker threads the scaling sweep visits.
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
-fn run_workload(name: &str, memo: bool, threads: usize) -> Report {
-    let mut gpu = Gpu::k20().with_memo(memo).with_threads(threads);
+fn run_workload(name: &str, memo: bool, threads: usize, fast_forward: bool) -> Report {
+    let mut gpu = Gpu::k20()
+        .with_memo(memo)
+        .with_threads(threads)
+        .with_fast_forward(fast_forward);
     match name {
         "regular" => {
             let threads = 128 * 256;
@@ -184,7 +196,7 @@ fn measure(name: &str) -> ((f64, Report), (f64, Report)) {
     let mut best: [Option<(f64, Report)>; 2] = [None, None];
     for _ in 0..ITERS {
         for (slot, memo) in [(0, false), (1, true)] {
-            let r = run_workload(name, memo, 1);
+            let r = run_workload(name, memo, 1, true);
             let w = r.sim.wall_seconds;
             if best[slot].as_ref().is_none_or(|(b, _)| w < *b) {
                 best[slot] = Some((w, r));
@@ -195,13 +207,45 @@ fn measure(name: &str) -> ((f64, Report), (f64, Report)) {
     (off.expect("iterations ran"), on.expect("iterations ran"))
 }
 
+/// Fast-path ablation for one workload (memo on, single-threaded): best
+/// timing-pass nanoseconds and best wall seconds per `--fast-forward`
+/// mode, alternating within each iteration like [`measure`]. The two
+/// minima are tracked independently — timing ns feeds the speedup gate,
+/// wall feeds the worst-case-overhead gate.
+struct FfSample {
+    timing_ns: u64,
+    wall: f64,
+}
+
+fn measure_ff(name: &str) -> (FfSample, FfSample) {
+    let mut best_ns = [u64::MAX; 2];
+    let mut best_wall = [f64::INFINITY; 2];
+    for _ in 0..ITERS {
+        for (slot, ff) in [(0, false), (1, true)] {
+            let r = run_workload(name, true, 1, ff);
+            best_ns[slot] = best_ns[slot].min(r.sim.timing_pass_ns);
+            best_wall[slot] = best_wall[slot].min(r.sim.wall_seconds);
+        }
+    }
+    (
+        FfSample {
+            timing_ns: best_ns[0],
+            wall: best_wall[0],
+        },
+        FfSample {
+            timing_ns: best_ns[1],
+            wall: best_wall[1],
+        },
+    )
+}
+
 /// Best-of-`ITERS` wall time at each sweep thread count (memo on). Thread
 /// counts alternate within each iteration, like [`measure`].
 fn measure_scaling(name: &str) -> Vec<(usize, f64, Report)> {
     let mut best: Vec<Option<(f64, Report)>> = vec![None; THREAD_SWEEP.len()];
     for _ in 0..ITERS {
         for (slot, &threads) in THREAD_SWEEP.iter().enumerate() {
-            let r = run_workload(name, true, threads);
+            let r = run_workload(name, true, threads, true);
             let w = r.sim.wall_seconds;
             if best[slot].as_ref().is_none_or(|(b, _)| w < *b) {
                 best[slot] = Some((w, r));
@@ -232,6 +276,14 @@ struct Row {
     memo_on_ops_per_sec: f64,
     memo_off_ops_per_sec: f64,
     memo_on_blocks_per_sec: f64,
+    /// Timing-pass seconds with fast paths on (best of iters).
+    timing_seconds: f64,
+    /// Timing-pass share of host wall time, fast paths on.
+    timing_share: f64,
+    /// Timing-pass speedup from the fast paths (off ns / on ns).
+    ff_timing_speedup: f64,
+    /// Wall-time ratio fast-on / fast-off (worst-case overhead gate).
+    ff_wall_ratio: f64,
 }
 
 #[derive(Serialize)]
@@ -255,6 +307,9 @@ struct BaselineRow {
     workload: String,
     memo_on_ops_per_sec: f64,
     memo_off_ops_per_sec: f64,
+    /// Timing-pass fast-path speedup at baseline-refresh time; the gate
+    /// fails when the live ratio drops below 70% of this.
+    ff_timing_speedup: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -269,7 +324,8 @@ fn baseline_path() -> std::path::PathBuf {
 }
 
 fn main() {
-    let update_baseline = std::env::args().skip(1).any(|a| a == "--update-baseline");
+    runner::init();
+    let update_baseline = runner::update_baseline();
 
     let rows: Vec<Row> = ["regular", "divergent", "dp-heavy"]
         .iter()
@@ -279,6 +335,7 @@ fn main() {
                 off_r.sim.ops_traced, on_r.sim.ops_traced,
                 "{name}: both modes must trace identical work"
             );
+            let (ff_off, ff_on) = measure_ff(name);
             Row {
                 workload: name.to_string(),
                 memo_off_seconds: off_s,
@@ -292,6 +349,10 @@ fn main() {
                 memo_on_ops_per_sec: on_r.sim.ops_traced as f64 / on_s,
                 memo_off_ops_per_sec: off_r.sim.ops_traced as f64 / off_s,
                 memo_on_blocks_per_sec: on_r.total().blocks as f64 / on_s,
+                timing_seconds: ff_on.timing_ns as f64 * 1e-9,
+                timing_share: (ff_on.timing_ns as f64 * 1e-9 / on_s).min(1.0),
+                ff_timing_speedup: ff_off.timing_ns as f64 / ff_on.timing_ns.max(1) as f64,
+                ff_wall_ratio: ff_on.wall / ff_off.wall,
             }
         })
         .collect();
@@ -308,6 +369,8 @@ fn main() {
             "block hits",
             "ops/s (on)",
             "blocks/s (on)",
+            "timing",
+            "ffwd gain",
         ],
     );
     for r in &rows {
@@ -321,6 +384,12 @@ fn main() {
             table::count(r.block_hits),
             format!("{:.1}m/s", r.memo_on_ops_per_sec / 1e6),
             format!("{:.1}k/s", r.memo_on_blocks_per_sec / 1e3),
+            format!(
+                "{} ({})",
+                table::ms(r.timing_seconds),
+                table::pct(r.timing_share)
+            ),
+            table::fx(r.ff_timing_speedup),
         ]);
     }
 
@@ -336,6 +405,17 @@ fn main() {
         eprintln!(
             "REGRESSION: divergent memo-on {:.3}x vs memo-off — adaptive bypass not engaging",
             divergent.speedup
+        );
+        std::process::exit(1);
+    }
+
+    // The all-heterogeneous worst case never forms cohorts and never
+    // fast-forwards, so the fast paths may cost it at most the eligibility
+    // checks: wall time with them on must stay within 3% of off.
+    if divergent.ff_wall_ratio > 1.03 {
+        eprintln!(
+            "REGRESSION: divergent wall with fast paths on is {:.3}x of off (>1.03x)",
+            divergent.ff_wall_ratio
         );
         std::process::exit(1);
     }
@@ -395,6 +475,7 @@ fn main() {
                     workload: r.workload.clone(),
                     memo_on_ops_per_sec: r.memo_on_ops_per_sec,
                     memo_off_ops_per_sec: r.memo_off_ops_per_sec,
+                    ff_timing_speedup: r.ff_timing_speedup,
                 })
                 .collect(),
         };
@@ -426,11 +507,23 @@ fn main() {
                         regressed = true;
                     }
                 }
+                // Timing-pass fast-path ratio gate: the speedup the fast
+                // paths buy on this workload must not drop below 70% of
+                // the ratio recorded at baseline-refresh time (the 30%
+                // slack absorbs scheduler-noise on sub-ms timing passes;
+                // a real fast-path break shows up as ~1.0x, far below).
+                if b.ff_timing_speedup > 0.0 && r.ff_timing_speedup < b.ff_timing_speedup * 0.7 {
+                    eprintln!(
+                        "REGRESSION: {} timing-pass fast-path speedup {:.2}x vs baseline {:.2}x",
+                        b.workload, r.ff_timing_speedup, b.ff_timing_speedup
+                    );
+                    regressed = true;
+                }
             }
             if regressed {
                 std::process::exit(1);
             }
-            println!("throughput within 2x of baseline");
+            println!("throughput and fast-path ratios within baseline gates");
         }
         Err(_) => {
             eprintln!(

@@ -24,6 +24,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let g = datasets::citeseer();
     let paper: &[(&str, f64, f64, f64)] = &[
         ("thread-mapped", 0.356, 0.158, 0.032),

@@ -20,6 +20,7 @@ struct Row {
 }
 
 fn main() {
+    runner::init();
     let paper: &[(&str, [f64; 5])] = &[
         ("SSSP", [0.756, 0.719, 0.453, 0.372, 0.356]),
         ("BC", [0.758, 0.567, 0.171, 0.108, 0.103]),

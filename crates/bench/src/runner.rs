@@ -1,4 +1,12 @@
 //! Execution helpers for the experiment binaries.
+//!
+//! Every experiment binary shares one command-line surface, parsed once by
+//! [`parse`] and cached: `--check[=warn|strict]`, `--no-memo`,
+//! `--fast-forward=on|off`, `--threads N`, `--profile[=<path>]`, and
+//! `--update-baseline` (acted on by `simbench` only, accepted everywhere
+//! for uniformity). Unknown or malformed flags print a usage message to
+//! stderr and exit nonzero — silently ignoring a typo like `--threads=abc`
+//! or `--check=bogus` would run the wrong experiment.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -6,86 +14,162 @@ use std::thread;
 
 use npar_sim::{CheckLevel, Gpu};
 
-/// Hazard-checker severity requested on the command line. Every experiment
-/// binary accepts `--check` (or `--check=warn`) to record hazards while the
-/// runs continue, and `--check=strict` to abort an experiment on the first
-/// detected hazard. Unknown arguments are ignored — the experiments have no
-/// other flags.
-pub fn check_level() -> CheckLevel {
-    static LEVEL: OnceLock<CheckLevel> = OnceLock::new();
-    *LEVEL.get_or_init(|| {
-        let mut level = CheckLevel::Off;
-        for arg in std::env::args().skip(1) {
-            match arg.as_str() {
-                "--check" | "--check=warn" => level = CheckLevel::Warn,
-                "--check=strict" => level = CheckLevel::Strict,
-                _ => {}
-            }
+/// Parsed command-line flags shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// `--check[=warn|strict]`.
+    pub check: CheckLevel,
+    /// Inverted `--no-memo`.
+    pub memo: bool,
+    /// `--fast-forward=on|off` (default on).
+    pub fast_forward: bool,
+    /// `--threads N` / `--threads=N`.
+    pub threads: Option<usize>,
+    /// `--profile[=<path>]`: `Some(None)` for the default per-run path,
+    /// `Some(Some(path))` for an explicit one.
+    pub profile: Option<Option<String>>,
+    /// `--update-baseline` (simbench).
+    pub update_baseline: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            check: CheckLevel::Off,
+            memo: true,
+            fast_forward: true,
+            threads: None,
+            profile: None,
+            update_baseline: false,
         }
-        level
-    })
+    }
 }
 
-/// Whether alignment memoization stays enabled. Every experiment binary
-/// accepts `--no-memo` to force the unmemoized simulator, which exists for
-/// differential testing and for measuring the cache itself (`simbench`);
-/// results are bit-identical either way.
-pub fn memo_enabled() -> bool {
-    static MEMO: OnceLock<bool> = OnceLock::new();
-    *MEMO.get_or_init(|| !std::env::args().skip(1).any(|a| a == "--no-memo"))
-}
+/// One-line-per-flag usage text, printed to stderr on a parse error.
+pub const USAGE: &str = "\
+usage: <experiment> [flags]
+  --check[=warn|strict]   record hazards (warn) or abort on them (strict)
+  --no-memo               disable alignment memoization (differential runs)
+  --fast-forward=on|off   toggle the timing-pass fast paths (default on)
+  --threads N             host worker threads (default: NPAR_THREADS/cores)
+  --profile[=<path>]      export npar-prof Chrome traces (see PROFILING.md)
+  --update-baseline       rewrite the simbench baseline (simbench only)";
 
-/// Host worker threads per simulator. Every experiment binary accepts
-/// `--threads N` (or `--threads=N`); without the flag the `NPAR_THREADS`
-/// environment variable and then the machine's core count decide (see
-/// `npar_sim::Gpu::with_threads`). Reports are bit-identical at any thread
-/// count — the flag only changes host wall time.
-pub fn thread_count() -> Option<usize> {
-    static THREADS: OnceLock<Option<usize>> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            let value = if arg == "--threads" {
-                args.next()
-            } else {
-                arg.strip_prefix("--threads=").map(str::to_string)
-            };
-            if let Some(v) = value {
-                match v.trim().parse::<usize>() {
-                    Ok(n) if n >= 1 => return Some(n),
-                    _ => {
-                        eprintln!("ignoring invalid --threads value {v:?}");
-                        return None;
+/// Parse an argument list (without the binary name). Pure so the error
+/// paths are unit-testable; [`parsed`] wraps it with the
+/// print-usage-and-exit policy.
+pub fn parse(args: &[String]) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" | "--check=warn" => out.check = CheckLevel::Warn,
+            "--check=strict" => out.check = CheckLevel::Strict,
+            "--no-memo" => out.memo = false,
+            "--fast-forward=on" => out.fast_forward = true,
+            "--fast-forward=off" => out.fast_forward = false,
+            "--profile" => out.profile = Some(None),
+            "--update-baseline" => out.update_baseline = true,
+            _ => {
+                if let Some(path) = arg.strip_prefix("--profile=") {
+                    if path.is_empty() {
+                        return Err("empty --profile= path".into());
                     }
+                    out.profile = Some(Some(path.to_string()));
+                } else if arg == "--threads" || arg.starts_with("--threads=") {
+                    let value = match arg.strip_prefix("--threads=") {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "missing value for --threads".to_string())?,
+                    };
+                    match value.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => out.threads = Some(n),
+                        _ => return Err(format!("invalid --threads value {value:?}")),
+                    }
+                } else if let Some(v) = arg.strip_prefix("--check=") {
+                    return Err(format!("invalid --check level {v:?}"));
+                } else if let Some(v) = arg.strip_prefix("--fast-forward=") {
+                    return Err(format!("invalid --fast-forward value {v:?}"));
+                } else {
+                    return Err(format!("unknown flag {arg:?}"));
                 }
             }
         }
-        None
+    }
+    Ok(out)
+}
+
+/// The process's parsed flags. On the first call a malformed command line
+/// prints the error and [`USAGE`] to stderr and exits with status 2.
+pub fn parsed() -> &'static Args {
+    static ARGS: OnceLock<Args> = OnceLock::new();
+    ARGS.get_or_init(|| {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match parse(&argv) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
     })
 }
 
-/// The `--profile[=<path>]` command-line flag. Every experiment binary
-/// accepts `--profile` to enable the npar-prof timeline profiler (see
-/// `npar_sim::prof`) and export a Chrome-trace JSON per simulated run into
-/// `results/profile_<tag>.trace.json`, or `--profile=<path>` to name the
-/// output file explicitly (when a binary profiles several runs, each export
-/// then overwrites the previous one — the last run wins). Reported numbers
-/// are bit-identical with and without the flag; profiling is observational.
+/// Validate the command line up front. Experiment binaries call this first
+/// in `main` so a typo'd flag is rejected before datasets are generated or
+/// simulations start — the lazy accessors would catch it anyway, but only
+/// at the first simulator construction, possibly seconds in.
+pub fn init() {
+    let _ = parsed();
+}
+
+/// Hazard-checker severity requested on the command line (`--check` /
+/// `--check=warn` records hazards while the runs continue, `--check=strict`
+/// aborts an experiment on the first detected hazard).
+pub fn check_level() -> CheckLevel {
+    parsed().check
+}
+
+/// Whether alignment memoization stays enabled (`--no-memo` forces the
+/// unmemoized simulator, for differential testing and for measuring the
+/// cache itself); results are bit-identical either way.
+pub fn memo_enabled() -> bool {
+    parsed().memo
+}
+
+/// Whether the timing-pass fast paths stay enabled (`--fast-forward=off`
+/// isolates the DESIGN.md §11 scheduler mechanisms in ablation runs);
+/// results are bit-identical either way.
+pub fn fast_forward_enabled() -> bool {
+    parsed().fast_forward
+}
+
+/// Host worker threads per simulator, from `--threads N` / `--threads=N`;
+/// without the flag the `NPAR_THREADS` environment variable and then the
+/// machine's core count decide (see `npar_sim::Gpu::with_threads`).
+/// Reports are bit-identical at any thread count — the flag only changes
+/// host wall time.
+pub fn thread_count() -> Option<usize> {
+    parsed().threads
+}
+
+/// Whether `--update-baseline` was passed (simbench rewrites its stored
+/// baseline instead of gating against it).
+pub fn update_baseline() -> bool {
+    parsed().update_baseline
+}
+
+/// The `--profile[=<path>]` flag: `Some("")` for the default per-run path
+/// under `results/`, `Some(path)` for an explicit output file (when a
+/// binary profiles several runs, each export then overwrites the previous
+/// one — the last run wins).
 fn profile_flag() -> Option<&'static str> {
-    static FLAG: OnceLock<Option<Option<String>>> = OnceLock::new();
-    FLAG.get_or_init(|| {
-        let mut flag = None;
-        for arg in std::env::args().skip(1) {
-            if arg == "--profile" {
-                flag = Some(None);
-            } else if let Some(path) = arg.strip_prefix("--profile=") {
-                flag = Some(Some(path.to_string()));
-            }
-        }
-        flag
-    })
-    .as_ref()
-    .map(|path| path.as_deref().unwrap_or(""))
+    parsed()
+        .profile
+        .as_ref()
+        .map(|path| path.as_deref().unwrap_or(""))
 }
 
 /// Whether `--profile[=<path>]` was passed.
@@ -127,20 +211,22 @@ pub fn export_profile(gpu: &mut Gpu, tag: &str) {
 }
 
 /// A K20-configured simulator honouring the command-line flags (`--check`,
-/// `--no-memo`, `--profile`, `--threads`). Experiment binaries construct
-/// their simulators through this so one flag covers every worker thread.
+/// `--no-memo`, `--fast-forward`, `--profile`, `--threads`). Experiment
+/// binaries construct their simulators through this so one flag covers
+/// every worker thread.
 pub fn gpu() -> Gpu {
     with_check_flag(Gpu::k20())
 }
 
-/// Apply the command-line flags (`--check`, `--no-memo`, `--profile`,
-/// `--threads`) to an explicitly configured simulator (the ablation and
-/// cross-device binaries build theirs from custom configs).
+/// Apply the command-line flags (`--check`, `--no-memo`, `--fast-forward`,
+/// `--profile`, `--threads`) to an explicitly configured simulator (the
+/// ablation and cross-device binaries build theirs from custom configs).
 #[must_use]
 pub fn with_check_flag(gpu: Gpu) -> Gpu {
     let gpu = gpu
         .with_check(check_level())
         .with_memo(memo_enabled())
+        .with_fast_forward(fast_forward_enabled())
         .with_profiler(profiling());
     match thread_count() {
         Some(n) => gpu.with_threads(n),
@@ -214,6 +300,68 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn p(args: &[&str]) -> Result<Args, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let a = p(&[]).unwrap();
+        assert_eq!(a, Args::default());
+        assert!(a.memo && a.fast_forward && a.threads.is_none());
+
+        let a = p(&[
+            "--check=strict",
+            "--no-memo",
+            "--fast-forward=off",
+            "--threads",
+            "8",
+            "--profile=out.json",
+            "--update-baseline",
+        ])
+        .unwrap();
+        assert_eq!(a.check, CheckLevel::Strict);
+        assert!(!a.memo);
+        assert!(!a.fast_forward);
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.profile, Some(Some("out.json".into())));
+        assert!(a.update_baseline);
+
+        let a = p(&["--check", "--threads=2", "--profile", "--fast-forward=on"]).unwrap();
+        assert_eq!(a.check, CheckLevel::Warn);
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.profile, Some(None));
+        assert!(a.fast_forward);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_flags() {
+        for bad in [
+            &["--threads=abc"][..],
+            &["--threads", "0"],
+            &["--threads"],
+            &["--check=bogus"],
+            &["--fast-forward"],
+            &["--fast-forward=maybe"],
+            &["--profile="],
+            &["--no-meno"],
+            &["extra-positional"],
+        ] {
+            let err = p(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?} must be rejected");
+        }
+        // The usage text names every flag an error could be about.
+        for flag in [
+            "--check",
+            "--no-memo",
+            "--fast-forward",
+            "--threads",
+            "--profile",
+        ] {
+            assert!(USAGE.contains(flag));
+        }
+    }
 
     #[test]
     fn big_stack_runs_and_returns() {

@@ -92,6 +92,26 @@ impl BlockOutcome {
     pub(crate) fn work(&self) -> f64 {
         self.segments.iter().map(|s| s.work).sum()
     }
+
+    /// Whether this block is interchangeable with `other` for the timing
+    /// pass: same resident-warp footprint and a single, launch-free,
+    /// join-free segment with bitwise-identical span/work. Grids whose
+    /// blocks are pairwise uniform qualify for the scheduler's
+    /// homogeneous-grid fast-forward (DESIGN.md §11). Memo-replayed blocks
+    /// of one grid are typically uniform by construction: replays of one
+    /// cache entry are clones of the same stored outcome.
+    pub(crate) fn timing_uniform_with(&self, other: &BlockOutcome) -> bool {
+        fn simple(seg: &SegmentTask) -> bool {
+            !seg.wait_children && seg.launches.is_empty()
+        }
+        self.warps == other.warps
+            && self.segments.len() == 1
+            && other.segments.len() == 1
+            && simple(&self.segments[0])
+            && simple(&other.segments[0])
+            && self.segments[0].span.to_bits() == other.segments[0].span.to_bits()
+            && self.segments[0].work.to_bits() == other.segments[0].work.to_bits()
+    }
 }
 
 /// Align one warp's slices over one segment, consulting the memo cache.

@@ -66,6 +66,13 @@ pub struct DeviceConfig {
     /// Purely a host-side speedup: reports are bit-identical either way.
     /// On by default; `--no-memo` / [`crate::Gpu::with_memo`] disable it.
     pub memo: bool,
+    /// Whether the timing pass takes the cohort-batching and
+    /// homogeneous-grid fast-forward shortcuts (DESIGN.md §11). Like
+    /// `memo`, a pure host-side speedup: reports and profiler timelines
+    /// are bit-identical either way. On by default; `--fast-forward=off` /
+    /// [`crate::Gpu::with_fast_forward`] disable it for ablation and
+    /// differential testing.
+    pub fast_forward: bool,
 }
 
 impl DeviceConfig {
@@ -91,6 +98,7 @@ impl DeviceConfig {
             pending_launch_limit: 2048,
             check: CheckLevel::Off,
             memo: true,
+            fast_forward: true,
         }
     }
 
@@ -128,6 +136,7 @@ impl DeviceConfig {
             pending_launch_limit: 64,
             check: CheckLevel::Off,
             memo: true,
+            fast_forward: true,
         }
     }
 

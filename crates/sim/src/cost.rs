@@ -6,6 +6,12 @@
 //! serialization, launch counts and scheduling all emerge from mechanism.
 //! The constants only set the exchange rates between instruction classes and
 //! between the GPU and CPU clocks.
+//!
+//! The timing pass treats every constant as an opaque `f64`: its fast
+//! paths (DESIGN.md §11) compare and combine event times bitwise, never
+//! assuming costs are integral, commensurable, or even distinct, so any
+//! cost scaling (e.g. `ablation_dp_overhead`) preserves fast/slow-path
+//! equivalence.
 
 use serde::{Deserialize, Serialize};
 

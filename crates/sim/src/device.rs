@@ -156,6 +156,28 @@ impl Gpu {
         self.engine.memo.is_some()
     }
 
+    /// Enable or disable the timing-pass fast paths — cohort event
+    /// batching and homogeneous-grid fast-forward (see DESIGN.md §11). On
+    /// by default; like memoization this is a pure host-side speedup —
+    /// reports and profiler timelines are bit-identical either way — so
+    /// disabling it is only useful for differential testing and ablation
+    /// (`--fast-forward=off` on the bench binaries).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.engine.device.fast_forward = enabled;
+    }
+
+    /// Builder-style [`Gpu::set_fast_forward`].
+    #[must_use]
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.set_fast_forward(enabled);
+        self
+    }
+
+    /// Whether the timing-pass fast paths are currently enabled.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.engine.device.fast_forward
+    }
+
     /// Enable or disable the timeline profiler (see [`crate::prof`]). Off
     /// by default. While enabled, every [`Gpu::synchronize`] appends the
     /// batch's timeline — kernel spans, per-SM block residency,
@@ -273,12 +295,14 @@ impl Gpu {
             .engine
             .profiling
             .then(|| Collector::new(self.engine.grids.len()));
+        let t_sched = std::time::Instant::now();
         let timing = simulate(
             &self.engine.grids,
             &self.engine.device,
             &self.engine.cost,
             prof.as_mut(),
         );
+        self.engine.stats.timing_pass_ns += t_sched.elapsed().as_nanos() as u64;
         if let Some(col) = prof {
             col.finish(
                 &self.engine.grids,

@@ -1,6 +1,13 @@
 //! Functional execution engine: runs kernels thread-by-thread (depth-first
 //! across dynamic-parallelism launches), recording traces and producing the
 //! grid/block timing tasks consumed by the scheduler.
+//!
+//! The engine hands [`crate::sched::simulate`] an immutable batch of
+//! [`GridTask`]s at synchronize time; the scheduler's fast paths
+//! (DESIGN.md §11) are contained entirely inside that call, so nothing in
+//! functional execution, checking, or memoization observes whether they
+//! ran — [`DeviceConfig::fast_forward`] cannot affect anything recorded
+//! here.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -33,6 +33,16 @@
 //! a previous block would wire the wrong child grids. Blocks whose traces
 //! were sanitized by the hazard checker (divergent barriers) bypass the
 //! cache too — their fingerprints describe the pre-sanitization traces.
+//!
+//! **Interaction with the timing-pass fast paths (DESIGN.md §11).** Blocks
+//! replayed from one block-cache entry are clones of the same
+//! [`BlockOutcome`], so a grid whose blocks all hit the same entry is
+//! timing-uniform *by construction* and eligible for the scheduler's
+//! cohort batching and fast-forward wheel — the common case after a warm
+//! sweep. The scheduler never trusts fingerprints for this, though: grid
+//! uniformity is established by direct bitwise comparison of the outcomes
+//! ([`BlockOutcome::timing_uniform_with`]), so a fingerprint collision can
+//! mis-time but can never desynchronize fast and slow paths.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};

@@ -3,6 +3,13 @@
 //! block order so the resulting [`crate::Report`] is byte-for-byte identical
 //! to the serial engine at any thread count.
 //!
+//! The timing pass itself stays serial (it runs after the merge, at
+//! synchronize time) — which is exactly why its fast paths exist
+//! (DESIGN.md §11): because the merge is canonical, the [`GridTask`] batch
+//! reaching the scheduler is identical at every thread count, so the
+//! scheduler's cohort/fast-forward decisions — and their byte-identical
+//! outputs — are thread-count-invariant by construction.
+//!
 //! # Determinism contract
 //!
 //! Everything observable — metrics (bit-identical `f64` sums), hazard

@@ -15,6 +15,12 @@
 //! (`tests/profiler_differential.rs` pins this). All recorded times are
 //! modeled device cycles, continuous across [`crate::Gpu::synchronize`]
 //! batches until the profile is drained with [`crate::Gpu::take_profile`].
+//!
+//! The scheduler's fast paths (DESIGN.md §11) splice per-block spans into
+//! intervals they fast-forward through: the wheel invokes the exact same
+//! collector hooks, in the same order, at the same modeled times as the
+//! event-by-event path, so exported Chrome traces are byte-identical with
+//! fast paths on or off (`tests/sched_differential.rs` pins this too).
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;

@@ -198,6 +198,10 @@ fn ratio_bytes(requested: u64, transactions: u64) -> f64 {
 pub struct SimStats {
     /// Host wall-clock seconds spent executing and timing the batch.
     pub wall_seconds: f64,
+    /// Host nanoseconds spent inside the event-driven timing pass
+    /// (`sched::simulate`) alone — the serial Amdahl floor the DESIGN.md
+    /// §11 fast paths attack. A subset of `wall_seconds`.
+    pub timing_pass_ns: u64,
     /// Warp-segment alignments served from the memo cache.
     pub warp_hits: u64,
     /// Warp-segment alignments computed from scratch (cacheable misses).
@@ -216,12 +220,23 @@ impl SimStats {
     /// Merge another batch's statistics into this one.
     pub fn merge(&mut self, other: &SimStats) {
         self.wall_seconds += other.wall_seconds;
+        self.timing_pass_ns += other.timing_pass_ns;
         self.warp_hits += other.warp_hits;
         self.warp_misses += other.warp_misses;
         self.block_hits += other.block_hits;
         self.block_misses += other.block_misses;
         self.ops_traced += other.ops_traced;
         self.ops_replayed += other.ops_replayed;
+    }
+
+    /// Share of host wall time spent inside the event-driven timing pass
+    /// (0.0 when no wall time was recorded).
+    pub fn timing_share(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.timing_pass_ns as f64 * 1e-9 / self.wall_seconds).min(1.0)
+        } else {
+            0.0
+        }
     }
 
     /// Fraction of ops whose timing came from the cache.
@@ -387,9 +402,12 @@ impl fmt::Display for Report {
         if self.sim.ops_traced > 0 {
             writeln!(
                 f,
-                "sim: {:.1} ms host | {} ops traced, {} replayed from cache \
-                 ({:.1}%) | warp cache {}/{} | block cache {}/{}",
+                "sim: {:.1} ms host ({:.1} ms / {:.0}% timing pass) | {} ops \
+                 traced, {} replayed from cache ({:.1}%) | warp cache {}/{} \
+                 | block cache {}/{}",
                 self.sim.wall_seconds * 1e3,
+                self.sim.timing_pass_ns as f64 * 1e-6,
+                self.sim.timing_share() * 100.0,
                 self.sim.ops_traced,
                 self.sim.ops_replayed,
                 self.sim.replay_fraction() * 100.0,
@@ -489,6 +507,7 @@ mod tests {
     fn sim_stats_merge_and_display() {
         let mut a = SimStats {
             wall_seconds: 0.5,
+            timing_pass_ns: 100_000_000,
             warp_hits: 3,
             warp_misses: 1,
             block_hits: 2,
@@ -501,8 +520,11 @@ mod tests {
         assert_eq!(a.warp_hits, 6);
         assert_eq!(a.ops_traced, 200);
         assert!((a.wall_seconds - 1.0).abs() < 1e-12);
+        assert_eq!(a.timing_pass_ns, 200_000_000);
+        assert!((a.timing_share() - 0.2).abs() < 1e-12);
         assert!((a.replay_fraction() - 0.6).abs() < 1e-12);
         assert_eq!(SimStats::default().replay_fraction(), 0.0);
+        assert_eq!(SimStats::default().timing_share(), 0.0);
 
         let r = Report {
             sim: a,
@@ -510,6 +532,7 @@ mod tests {
         };
         let s = r.to_string();
         assert!(s.contains("replayed from cache"));
+        assert!(s.contains("timing pass"));
         assert!(s.contains("warp cache 6/8"));
         // A report with no traced ops keeps the sim line out entirely.
         assert!(!Report::default().to_string().contains("replayed"));

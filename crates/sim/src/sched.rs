@@ -7,9 +7,33 @@
 //! latency after their launching instruction, and parent blocks that join
 //! their children (`SyncChildren`) are swapped out while they wait — the
 //! Kepler dynamic-parallelism behaviour whose overhead the paper measures.
+//!
+//! The timing pass carries three fast paths (DESIGN.md §11), all bound by
+//! the determinism contract — reports and profiler timelines are
+//! byte-identical with them on or off (`tests/sched_differential.rs`):
+//!
+//! 1. **Calendar queue** ([`CalendarQueue`]): the event queue is bucketed
+//!    by time instead of heap-ordered, with the same `(time, seq)` total
+//!    order, so enqueue/dequeue are O(1) amortized under dynamic-parallelism
+//!    event storms. Always on — it is a drop-in container.
+//! 2. **Cohort batching**: consecutive same-time final-segment completions
+//!    of one grid collapse into a single [`Ev::SegDoneN`] event whose
+//!    teardown is fanned out arithmetically when no other work is runnable.
+//! 3. **Homogeneous-grid fast-forward**: when the only runnable grid's
+//!    blocks are pairwise timing-uniform and every queued event belongs to
+//!    it (plus provably inert releases), the remaining dispatch rounds are
+//!    played out in one tight loop over a sorted wheel, bypassing the
+//!    queue; per-block profiler spans are still emitted (PROFILING.md).
+//!
+//! (2) and (3) are gated by [`DeviceConfig::fast_forward`]
+//! (`--fast-forward=off` on the bench binaries). The `try_admit` placement
+//! scan additionally memoizes failed launch configurations per scan and
+//! skips entirely when nothing changed since the last exhaustive scan
+//! (`fit_epoch`), which is exact because placement failures are monotone
+//! while SM resources only shrink.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Ordering;
+use std::collections::VecDeque;
 
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
@@ -19,6 +43,10 @@ use crate::prof::Collector;
 /// Hardware work-queue window: how many grids the dispatcher considers
 /// concurrently when the head grid cannot place a block (HyperQ depth).
 const DISPATCH_WINDOW: usize = 32;
+
+/// Fast-forward entry gives up rather than scan more pending release
+/// events than this (keeps the entry check O(1)-ish per event).
+const MAX_FF_RELEASE_SCAN: usize = 64;
 
 /// Result of timing simulation for one batch of grids.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,30 +59,219 @@ pub(crate) struct TimingResult {
     pub overflow_launches: u64,
 }
 
-/// Total order on event times (f64) for the heap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct TimeKey(f64);
-impl Eq for TimeKey {}
-impl PartialOrd for TimeKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimeKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     /// Grid became schedulable (launch latency elapsed).
     Release(usize),
     /// Block finished its current segment.
     SegDone(usize, u32),
+    /// Cohort: blocks `first..first + n` of the grid all finished their
+    /// final segment at this exact time with consecutive sequence numbers
+    /// (`seq..seq + n`). Processed as `n` back-to-back teardowns.
+    SegDoneN(usize, u32, u32),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// A cohort of final-segment completions being accumulated before it is
+/// pushed: grid `g`, blocks `first..first + n`, all ending at bitwise time
+/// `t`, holding sequence numbers `seq0..seq0 + n`.
+#[derive(Debug, Clone, Copy)]
+struct PendingCohort {
+    t: f64,
+    seq0: u64,
+    g: usize,
+    first: u32,
+    n: u32,
+}
+
+/// Event replayed inside the fast-forward wheel.
+#[derive(Debug, Clone, Copy)]
+enum WheelEv {
+    /// Final-segment completion of the fast-forwarded grid's block.
+    Seg(u32),
+    /// Inert release of another grid (serviced, not a stream head).
+    Release(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue
+// ---------------------------------------------------------------------------
+
+/// A calendar queue (R. Brown, CACM 1988): events are hashed into
+/// fixed-width time buckets ("days" on a circular "year" of buckets) and
+/// popped by scanning the current day forward. Pop order is exactly the
+/// minimum by `(f64::total_cmp, seq)` — identical to the
+/// `BinaryHeap<Reverse<(TimeKey, u64, Ev)>>` it replaced; the bucket
+/// geometry (width, count) affects only cost, never order, which
+/// `calendar_matches_binary_heap_pop_order` pins including seq tie-breaks.
+///
+/// Each bucket is kept sorted descending by `(t, seq)`, so its tail is the
+/// bucket minimum. A bucket holds days congruent to its index mod the year
+/// length, and later years strictly dominate earlier ones in time, so the
+/// tail belongs to the earliest populated day of the bucket: one tail
+/// inspection decides a day probe (O(1)), and pushes pay a binary-search
+/// insert into a short bucket. Under the DP-heavy event storms this beats
+/// both the unsorted-bucket scan (linear in bucket population per pop) and
+/// the global heap (log n with poor locality).
+///
+/// Invariant: `day <= floor(t / width)` for every queued entry, so the
+/// forward scan cannot step past a pending event. Pushes pull `day` back
+/// when needed; when a whole year is empty the pop falls back to a global
+/// minimum scan over the bucket tails and re-anchors `day` there.
+#[derive(Debug)]
+struct CalendarQueue {
+    buckets: Vec<Vec<(f64, u64, Ev)>>,
+    /// `buckets.len() - 1`; the bucket count is a power of two.
+    mask: usize,
+    width: f64,
+    inv_width: f64,
+    /// Current scan day (`floor(t / width)` cursor).
+    day: u64,
+    len: usize,
+}
+
+fn lex_lt(t: f64, s: u64, bt: f64, bs: u64) -> bool {
+    match t.total_cmp(&bt) {
+        Ordering::Less => true,
+        Ordering::Equal => s < bs,
+        Ordering::Greater => false,
+    }
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        // Initial width of one host-launch overhead order of magnitude;
+        // resizes re-estimate from observed event spacing.
+        Self::with_geometry(16, 512.0)
+    }
+
+    fn with_geometry(nbuckets: usize, width: f64) -> Self {
+        debug_assert!(nbuckets.is_power_of_two() && width > 0.0);
+        CalendarQueue {
+            buckets: vec![Vec::new(); nbuckets],
+            mask: nbuckets - 1,
+            width,
+            inv_width: 1.0 / width,
+            day: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn day_of(&self, t: f64) -> u64 {
+        // Saturating cast; event times are finite and non-negative.
+        (t * self.inv_width) as u64
+    }
+
+    fn push(&mut self, t: f64, seq: u64, ev: Ev) {
+        if self.len >= self.buckets.len() * 4 && self.buckets.len() < (1 << 20) {
+            self.resize();
+        }
+        let d = self.day_of(t);
+        if d < self.day {
+            self.day = d;
+        }
+        let bucket = &mut self.buckets[(d as usize) & self.mask];
+        // Keep the bucket sorted descending by (t, seq): skip the prefix of
+        // entries that dominate the new one.
+        let pos = bucket.partition_point(|&(bt, bs, _)| !lex_lt(bt, bs, t, seq));
+        bucket.insert(pos, (t, seq, ev));
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(f64, u64, Ev)> {
+        if self.len == 0 {
+            return None;
+        }
+        let years = self.buckets.len() as u64;
+        for day in self.day..=self.day + years {
+            let b = (day as usize) & self.mask;
+            if let Some(&(t, _, _)) = self.buckets[b].last() {
+                // The tail is the bucket minimum; its day is the earliest
+                // populated day of the bucket (later years strictly
+                // dominate in time), so a mismatch means this day is empty.
+                if self.day_of(t) == day {
+                    self.day = day;
+                    self.len -= 1;
+                    return self.buckets[b].pop();
+                }
+            }
+        }
+        // Sparse year: jump straight to the global minimum over the bucket
+        // tails (each tail is its bucket's minimum).
+        let mut best: Option<(usize, f64, u64)> = None;
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            if let Some(&(t, s, _)) = bucket.last() {
+                if best.is_none_or(|(_, bt, bs)| lex_lt(t, s, bt, bs)) {
+                    best = Some((bi, t, s));
+                }
+            }
+        }
+        let (bi, t, _) = best.expect("len > 0 but no entry found");
+        self.day = self.day_of(t);
+        self.len -= 1;
+        self.buckets[bi].pop()
+    }
+
+    /// Iterate the queued entries in arbitrary order (fast-forward entry
+    /// check only — never used for anything order-sensitive).
+    fn entries(&self) -> impl Iterator<Item = &(f64, u64, Ev)> {
+        self.buckets.iter().flatten()
+    }
+
+    /// Grow the year and re-estimate the day width from the spacing of a
+    /// sample of queued events, then redistribute. Order is untouched:
+    /// membership of a day is always recomputed from `(t, width)`.
+    fn resize(&mut self) {
+        let nbuckets = self.len.max(16).next_power_of_two().min(1 << 20);
+        let mut sample: Vec<f64> = self.entries().map(|e| e.0).take(64).collect();
+        sample.sort_unstable_by(f64::total_cmp);
+        let spread = match (sample.first(), sample.last()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0.0,
+        };
+        let width = if spread > 0.0 {
+            // Aim for a handful of events per day.
+            (spread / sample.len() as f64) * 4.0
+        } else {
+            self.width
+        }
+        .max(1e-6);
+        let entries: Vec<(f64, u64, Ev)> =
+            self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        self.buckets = vec![Vec::new(); nbuckets];
+        self.mask = nbuckets - 1;
+        self.width = width;
+        self.inv_width = 1.0 / width;
+        self.day = u64::MAX;
+        for &(t, s, e) in &entries {
+            let d = self.day_of(t);
+            if d < self.day {
+                self.day = d;
+            }
+            let b = (d as usize) & self.mask;
+            self.buckets[b].push((t, s, e));
+        }
+        // Restore the descending (t, seq) order within each bucket.
+        for bucket in &mut self.buckets {
+            bucket.sort_unstable_by(|a, b| match b.0.total_cmp(&a.0) {
+                Ordering::Equal => b.1.cmp(&a.1),
+                o => o,
+            });
+        }
+        if entries.is_empty() {
+            self.day = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum SKey {
     Host(u32),
     Dev {
@@ -62,6 +279,17 @@ enum SKey {
         block: u32,
         slot: u32,
     },
+}
+
+/// Per-grid placement footprint, precomputed once at construction so the
+/// hot `block_fits`/`occupy`/`vacate` paths never recompute the warp
+/// rounding or the register product.
+#[derive(Debug, Clone, Copy)]
+struct Need {
+    threads: u32,
+    warps: u32,
+    smem: u32,
+    regs: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,23 +332,39 @@ struct Sm {
     free_regs: u32,
 }
 
+/// Tri-state cache of per-grid timing uniformity (see
+/// [`crate::block::BlockOutcome::timing_uniform_with`]).
+const UNIFORM_UNKNOWN: u8 = 0;
+const UNIFORM_YES: u8 = 1;
+const UNIFORM_NO: u8 = 2;
+
 struct Sim<'a> {
     grids: &'a [GridTask],
     device: &'a DeviceConfig,
     cost: &'a CostModel,
-    heap: BinaryHeap<Reverse<(TimeKey, u64, Ev)>>,
+    queue: CalendarQueue,
     seq: u64,
     grt: Vec<GridRt>,
-    brt: Vec<Vec<BlockRt>>,
+    /// Per-block runtime state, flattened across grids (`boff[g] + b`).
+    brt: Vec<BlockRt>,
+    /// Start offset of grid `g`'s blocks within `brt`.
+    boff: Vec<u32>,
+    /// Precomputed per-grid placement footprints.
+    need: Vec<Need>,
     sms: Vec<Sm>,
     resident_warps: u64,
     /// Grids with blocks still to dispatch, in activation order.
     admit_queue: Vec<usize>,
     /// Swapped-out blocks whose children completed, awaiting re-admission.
     resume_queue: VecDeque<(usize, u32)>,
-    /// Stream id -> (grid ids in launch order, head index).
-    streams: HashMap<SKey, (Vec<usize>, usize)>,
-    stream_of: Vec<SKey>,
+    /// Grid ids grouped by stream (launch order within each group);
+    /// stream `s` owns `stream_items[stream_start[s]..stream_start[s+1]]`.
+    stream_items: Vec<u32>,
+    stream_start: Vec<u32>,
+    /// Head offset of each stream, relative to its `stream_start`.
+    stream_head: Vec<u32>,
+    /// Dense stream id per grid (index into `stream_start`/`stream_head`).
+    stream_of: Vec<u32>,
     now: f64,
     warp_integral: f64,
     makespan: f64,
@@ -131,6 +375,39 @@ struct Sim<'a> {
     /// Timeline-profiler event sink (see [`crate::prof`]); `None` keeps
     /// the scheduler on the exact pre-profiler paths.
     prof: Option<&'a mut Collector>,
+    /// Whether cohort batching and fast-forward are enabled
+    /// ([`DeviceConfig::fast_forward`]). The calendar queue and the
+    /// `try_admit` scan memos are exact containers/caches and stay on.
+    fast: bool,
+    /// Cohort being accumulated; flushed before any other push or pop so
+    /// member sequence numbers stay consecutive.
+    pending: Option<PendingCohort>,
+    /// Queued `Ev::Release` entries.
+    release_entries: usize,
+    /// Queued `SegDone`/`SegDoneN` entries per grid (a cohort counts once).
+    segdone_entries: Vec<u32>,
+    /// Per-grid uniformity cache (`UNIFORM_*`).
+    uniform: Vec<u8>,
+    /// Bumped whenever placement could newly succeed: an SM was vacated, a
+    /// candidate joined `admit_queue`/`resume_queue`, or window membership
+    /// changed. `occupy` never bumps — shrinking resources cannot turn a
+    /// failed placement into a success.
+    fit_epoch: u64,
+    /// `fit_epoch` value at the end of the last exhaustive `try_admit`
+    /// scan; when equal to `fit_epoch` the scan is provably fruitless and
+    /// is skipped. `u64::MAX` = dirty.
+    scanned_epoch: u64,
+    /// Reusable fast-forward wheel buffer.
+    wheel: Vec<(f64, u64, WheelEv)>,
+    /// Reusable `try_admit` scratch (failed placement signatures).
+    scratch_failed: Vec<(u32, u32)>,
+    /// Reusable `try_admit` scratch (exhausted window slots).
+    scratch_exhausted: Vec<usize>,
+    /// Diagnostics (tests assert the fast paths actually engage — the
+    /// differential suite would otherwise pass vacuously if an entry
+    /// condition quietly never held).
+    stat_wheel_runs: u64,
+    stat_cohort_fanouts: u64,
 }
 
 /// Simulate the timing of a batch of executed grids, optionally recording
@@ -170,10 +447,14 @@ impl<'a> Sim<'a> {
         cost: &'a CostModel,
         prof: Option<&'a mut Collector>,
     ) -> Self {
-        let mut streams: HashMap<SKey, (Vec<usize>, usize)> = HashMap::new();
-        let mut stream_of = Vec::with_capacity(grids.len());
+        // Stream membership, resolved to dense ids up front: grids sorted
+        // by (stream key, launch order) group each stream contiguously, so
+        // the hot head checks are plain array reads with no hashing.
+        let mut keyed: Vec<(SKey, u32)> = Vec::with_capacity(grids.len());
         let mut grt = Vec::with_capacity(grids.len());
-        let mut brt = Vec::with_capacity(grids.len());
+        let mut need = Vec::with_capacity(grids.len());
+        let mut boff = Vec::with_capacity(grids.len());
+        let mut total_blocks: u32 = 0;
         for (g, task) in grids.iter().enumerate() {
             let key = match task.origin {
                 Origin::Host { stream, .. } => SKey::Host(stream),
@@ -187,8 +468,7 @@ impl<'a> Sim<'a> {
                     slot: stream_slot,
                 },
             };
-            streams.entry(key).or_default().0.push(g);
-            stream_of.push(key);
+            keyed.push((key, g as u32));
             grt.push(GridRt {
                 released: false,
                 started: false,
@@ -198,16 +478,41 @@ impl<'a> Sim<'a> {
                 blocks_left: task.blocks.len(),
                 children_left: task.children.len(),
             });
-            brt.push(vec![
-                BlockRt {
-                    state: BState::NotStarted,
-                    seg: 0,
-                    sm: usize::MAX,
-                    unfinished_children: 0,
-                };
-                task.blocks.len()
-            ]);
+            let cfg = &task.cfg;
+            need.push(Need {
+                threads: cfg.block_dim,
+                warps: cfg.block_dim.div_ceil(device.warp_size),
+                smem: cfg.shared_mem_bytes,
+                regs: cfg.block_dim * device.registers_per_thread,
+            });
+            boff.push(total_blocks);
+            total_blocks += task.blocks.len() as u32;
         }
+        let brt = vec![
+            BlockRt {
+                state: BState::NotStarted,
+                seg: 0,
+                sm: usize::MAX,
+                unfinished_children: 0,
+            };
+            total_blocks as usize
+        ];
+        // Within a stream the launch order is the grid-id order (grids are
+        // registered as they launch), so sorting by (key, g) yields each
+        // stream's grids contiguously and in order.
+        keyed.sort_unstable();
+        let mut stream_of = vec![0u32; grids.len()];
+        let mut stream_items = Vec::with_capacity(grids.len());
+        let mut stream_start: Vec<u32> = vec![0];
+        for (i, &(key, g)) in keyed.iter().enumerate() {
+            if i > 0 && keyed[i - 1].0 != key {
+                stream_start.push(i as u32);
+            }
+            stream_of[g as usize] = (stream_start.len() - 1) as u32;
+            stream_items.push(g);
+        }
+        stream_start.push(grids.len() as u32);
+        let stream_head = vec![0u32; stream_start.len() - 1];
         let sm = Sm {
             free_blocks: device.max_blocks_per_sm,
             free_threads: device.max_threads_per_sm,
@@ -219,15 +524,19 @@ impl<'a> Sim<'a> {
             grids,
             device,
             cost,
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             grt,
             brt,
+            boff,
+            need,
             sms: vec![sm; device.num_sms as usize],
             resident_warps: 0,
             admit_queue: Vec::new(),
             resume_queue: VecDeque::new(),
-            streams,
+            stream_items,
+            stream_start,
+            stream_head,
             stream_of,
             now: 0.0,
             warp_integral: 0.0,
@@ -235,6 +544,18 @@ impl<'a> Sim<'a> {
             launch_pool_free: 0.0,
             overflow_launches: 0,
             prof,
+            fast: device.fast_forward,
+            pending: None,
+            release_entries: 0,
+            segdone_entries: vec![0; grids.len()],
+            uniform: vec![UNIFORM_UNKNOWN; grids.len()],
+            fit_epoch: 0,
+            scanned_epoch: u64::MAX,
+            wheel: Vec::new(),
+            scratch_failed: Vec::new(),
+            scratch_exhausted: Vec::new(),
+            stat_wheel_runs: 0,
+            stat_cohort_fanouts: 0,
         };
         // Host launches serialize on the host thread: the i-th host launch
         // becomes schedulable after i+1 launch overheads.
@@ -247,25 +568,90 @@ impl<'a> Sim<'a> {
         sim
     }
 
+    /// Push an event, first flushing any pending cohort so that cohort
+    /// member sequence numbers stay consecutive (required for the fan-out
+    /// to preserve pop order relative to interleaved events).
     fn push(&mut self, t: f64, ev: Ev) {
+        self.flush_cohort();
         self.seq += 1;
-        self.heap.push(Reverse((TimeKey(t), self.seq, ev)));
+        match ev {
+            Ev::Release(_) => self.release_entries += 1,
+            Ev::SegDone(g, _) => self.segdone_entries[g] += 1,
+            Ev::SegDoneN(..) => unreachable!("cohorts are pushed by flush_cohort"),
+        }
+        self.queue.push(t, self.seq, ev);
+    }
+
+    fn flush_cohort(&mut self) {
+        if let Some(c) = self.pending.take() {
+            self.segdone_entries[c.g] += 1;
+            let ev = if c.n == 1 {
+                Ev::SegDone(c.g, c.first)
+            } else {
+                Ev::SegDoneN(c.g, c.first, c.n)
+            };
+            self.queue.push(c.t, c.seq0, ev);
+        }
+    }
+
+    /// Push a final-segment completion, batching it into the pending
+    /// cohort when it extends the current run of same-grid, same-time,
+    /// id-contiguous completions. `cohortable` is false for non-final or
+    /// launch-bearing segments (and whenever fast paths are disabled),
+    /// which forces the plain per-block event.
+    fn push_segdone(&mut self, t: f64, g: usize, b: u32, cohortable: bool) {
+        if self.fast && cohortable {
+            if let Some(c) = &mut self.pending {
+                if c.g == g && c.first + c.n == b && c.t.to_bits() == t.to_bits() {
+                    c.n += 1;
+                    self.seq += 1;
+                    return;
+                }
+            }
+            self.flush_cohort();
+            self.seq += 1;
+            self.pending = Some(PendingCohort {
+                t,
+                seq0: self.seq,
+                g,
+                first: b,
+                n: 1,
+            });
+        } else {
+            self.push(t, Ev::SegDone(g, b));
+        }
+    }
+
+    #[inline]
+    fn blk(&self, g: usize, b: u32) -> &BlockRt {
+        &self.brt[(self.boff[g] + b) as usize]
+    }
+
+    #[inline]
+    fn blk_mut(&mut self, g: usize, b: u32) -> &mut BlockRt {
+        &mut self.brt[(self.boff[g] + b) as usize]
     }
 
     fn run(&mut self) {
-        while let Some(Reverse((TimeKey(t), _, ev))) = self.heap.pop() {
+        loop {
+            self.flush_cohort();
+            let Some((t, _, ev)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.now - 1e-9);
             self.warp_integral += self.resident_warps as f64 * (t - self.now);
             self.now = t;
             self.makespan = self.makespan.max(t);
-            match ev {
+            let hint = match ev {
                 Ev::Release(g) => {
+                    self.release_entries -= 1;
                     if self.grt[g].launch_serviced {
                         self.grt[g].released = true;
                         if let Some(p) = self.prof.as_deref_mut() {
                             p.on_release(g, t);
                         }
                         self.maybe_activate(g);
+                        self.grt[g].started.then_some(g)
                     } else {
                         // Pending-launch pool: device launches are serviced
                         // one at a time by the runtime. A backlog beyond the
@@ -282,9 +668,22 @@ impl<'a> Sim<'a> {
                         self.launch_pool_free = done;
                         self.grt[g].launch_serviced = true;
                         self.push(done, Ev::Release(g));
+                        None
                     }
                 }
-                Ev::SegDone(g, b) => self.segment_done(g, b),
+                Ev::SegDone(g, b) => {
+                    self.segdone_entries[g] -= 1;
+                    self.segment_done(g, b);
+                    Some(g)
+                }
+                Ev::SegDoneN(g, first, n) => {
+                    self.segdone_entries[g] -= 1;
+                    self.cohort_done(g, first, n);
+                    Some(g)
+                }
+            };
+            if self.fast {
+                self.maybe_fast_forward(hint);
             }
         }
         debug_assert!(
@@ -293,9 +692,37 @@ impl<'a> Sim<'a> {
         );
     }
 
+    /// Process a cohort of final-segment completions. When nothing else is
+    /// runnable (both admission queues empty) the per-member
+    /// `check_grid_done`/`try_admit` calls are no-ops for all but the last
+    /// member, so the teardowns are fanned out arithmetically; otherwise
+    /// fall back to the member-by-member slow path, which is exact by
+    /// construction.
+    fn cohort_done(&mut self, g: usize, first: u32, n: u32) {
+        if self.admit_queue.is_empty() && self.resume_queue.is_empty() {
+            self.stat_cohort_fanouts += 1;
+            for b in first..first + n {
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_block_end(g, b, self.now);
+                }
+                let sm = self.blk(g, b).sm;
+                self.vacate(sm, g);
+                self.blk_mut(g, b).state = BState::Done;
+            }
+            self.grt[g].blocks_left -= n as usize;
+            self.check_grid_done(g);
+            self.try_admit();
+        } else {
+            for b in first..first + n {
+                self.segment_done(g, b);
+            }
+        }
+    }
+
     fn is_stream_head(&self, g: usize) -> bool {
-        let (order, head) = &self.streams[&self.stream_of[g]];
-        *head < order.len() && order[*head] == g
+        let s = self.stream_of[g] as usize;
+        let h = self.stream_start[s] + self.stream_head[s];
+        h < self.stream_start[s + 1] && self.stream_items[h as usize] as usize == g
     }
 
     fn maybe_activate(&mut self, g: usize) {
@@ -305,24 +732,24 @@ impl<'a> Sim<'a> {
         }
         self.grt[g].started = true;
         self.admit_queue.push(g);
+        self.fit_epoch += 1;
         self.try_admit();
     }
 
-    fn block_fits(&self, sm: &Sm, g: usize) -> bool {
-        let cfg = &self.grids[g].cfg;
-        let warps = cfg.block_dim.div_ceil(self.device.warp_size);
+    fn block_fits(sm: &Sm, need: &Need) -> bool {
         sm.free_blocks >= 1
-            && sm.free_threads >= cfg.block_dim
-            && sm.free_warps >= warps
-            && sm.free_smem >= cfg.shared_mem_bytes
-            && sm.free_regs >= cfg.block_dim * self.device.registers_per_thread
+            && sm.free_threads >= need.threads
+            && sm.free_warps >= need.warps
+            && sm.free_smem >= need.smem
+            && sm.free_regs >= need.regs
     }
 
     /// Pick the SM with the most free warps that fits a block of grid `g`.
     fn pick_sm(&self, g: usize) -> Option<usize> {
+        let need = &self.need[g];
         let mut best: Option<(u32, usize)> = None;
         for (i, sm) in self.sms.iter().enumerate() {
-            if self.block_fits(sm, g) {
+            if Self::block_fits(sm, need) {
                 let key = sm.free_warps;
                 if best.is_none_or(|(bw, _)| key > bw) {
                     best = Some((key, i));
@@ -333,52 +760,76 @@ impl<'a> Sim<'a> {
     }
 
     fn occupy(&mut self, sm: usize, g: usize) {
-        let cfg = &self.grids[g].cfg;
-        let warps = cfg.block_dim.div_ceil(self.device.warp_size);
+        let need = self.need[g];
         let s = &mut self.sms[sm];
         s.free_blocks -= 1;
-        s.free_threads -= cfg.block_dim;
-        s.free_warps -= warps;
-        s.free_smem -= cfg.shared_mem_bytes;
-        s.free_regs -= cfg.block_dim * self.device.registers_per_thread;
-        self.resident_warps += u64::from(warps);
+        s.free_threads -= need.threads;
+        s.free_warps -= need.warps;
+        s.free_smem -= need.smem;
+        s.free_regs -= need.regs;
+        self.resident_warps += u64::from(need.warps);
     }
 
     fn vacate(&mut self, sm: usize, g: usize) {
-        let cfg = &self.grids[g].cfg;
-        let warps = cfg.block_dim.div_ceil(self.device.warp_size);
+        let need = self.need[g];
         let s = &mut self.sms[sm];
         s.free_blocks += 1;
-        s.free_threads += cfg.block_dim;
-        s.free_warps += warps;
-        s.free_smem += cfg.shared_mem_bytes;
-        s.free_regs += cfg.block_dim * self.device.registers_per_thread;
-        self.resident_warps -= u64::from(warps);
+        s.free_threads += need.threads;
+        s.free_warps += need.warps;
+        s.free_smem += need.smem;
+        s.free_regs += need.regs;
+        self.resident_warps -= u64::from(need.warps);
+        self.fit_epoch += 1;
+    }
+
+    /// Placement signature of a grid's launch configuration: `block_fits`
+    /// depends only on these two fields (plus device constants), so one
+    /// failed placement condemns every same-signature candidate for the
+    /// rest of the scan.
+    fn cfg_sig(&self, g: usize) -> (u32, u32) {
+        let need = &self.need[g];
+        (need.threads, need.smem)
     }
 
     fn try_admit(&mut self) {
+        if self.scanned_epoch == self.fit_epoch {
+            // Nothing that could enable a placement changed since the last
+            // exhaustive scan concluded nothing fits.
+            return;
+        }
+        // Launch-config signatures that failed placement during this call.
+        // SM resources only shrink within one call (occupy, never vacate),
+        // so failures are monotone and the memo is exact. Buffers are
+        // reused across calls to keep the hot scans allocation-free.
+        let mut failed = std::mem::take(&mut self.scratch_failed);
+        let mut exhausted = std::mem::take(&mut self.scratch_exhausted);
         loop {
             let mut progressed = false;
             // Swapped-out parents whose children finished resume first.
             let mut i = 0;
             while i < self.resume_queue.len() {
                 let (g, b) = self.resume_queue[i];
+                if failed.contains(&self.cfg_sig(g)) {
+                    i += 1;
+                    continue;
+                }
                 if let Some(sm) = self.pick_sm(g) {
                     self.resume_queue.remove(i);
                     self.occupy(sm, g);
-                    self.brt[g][b as usize].sm = sm;
-                    let seg = self.brt[g][b as usize].seg;
+                    self.blk_mut(g, b).sm = sm;
+                    let seg = self.blk(g, b).seg;
                     if let Some(p) = self.prof.as_deref_mut() {
                         p.on_block_start(g, b, sm, self.now, true);
                     }
                     self.start_segment(g, b, seg, true);
                     progressed = true;
                 } else {
+                    failed.push(self.cfg_sig(g));
                     i += 1;
                 }
             }
             // Fresh blocks from active grids, HyperQ-window deep.
-            let mut exhausted: Vec<usize> = Vec::new();
+            exhausted.clear();
             for qi in 0..self.admit_queue.len().min(DISPATCH_WINDOW) {
                 let g = self.admit_queue[qi];
                 loop {
@@ -386,11 +837,17 @@ impl<'a> Sim<'a> {
                         exhausted.push(qi);
                         break;
                     }
-                    let Some(sm) = self.pick_sm(g) else { break };
+                    if failed.contains(&self.cfg_sig(g)) {
+                        break;
+                    }
+                    let Some(sm) = self.pick_sm(g) else {
+                        failed.push(self.cfg_sig(g));
+                        break;
+                    };
                     let b = self.grt[g].next_block as u32;
                     self.grt[g].next_block += 1;
                     self.occupy(sm, g);
-                    let rt = &mut self.brt[g][b as usize];
+                    let rt = self.blk_mut(g, b);
                     rt.state = BState::Running;
                     rt.sm = sm;
                     if let Some(p) = self.prof.as_deref_mut() {
@@ -403,19 +860,32 @@ impl<'a> Sim<'a> {
                     progressed = true;
                 }
             }
-            for &qi in exhausted.iter().rev() {
-                self.admit_queue.remove(qi);
+            if !exhausted.is_empty() {
+                let prelen = self.admit_queue.len();
+                for &qi in exhausted.iter().rev() {
+                    self.admit_queue.remove(qi);
+                }
+                if prelen > DISPATCH_WINDOW {
+                    // Removals pulled previously out-of-window grids into
+                    // the window: a fresh scan could now place their blocks.
+                    self.fit_epoch += 1;
+                }
             }
             if !progressed {
                 break;
             }
         }
+        failed.clear();
+        exhausted.clear();
+        self.scratch_failed = failed;
+        self.scratch_exhausted = exhausted;
+        self.scanned_epoch = self.fit_epoch;
     }
 
     fn start_segment(&mut self, g: usize, b: u32, seg: usize, resumed: bool) {
         let block = &self.grids[g].blocks[b as usize];
         let task = &block.segments[seg];
-        let sm_idx = self.brt[g][b as usize].sm;
+        let sm_idx = self.blk(g, b).sm;
         let resident: u32 = self.device.max_warps_per_sm - self.sms[sm_idx].free_warps;
         let w = f64::from(block.warps);
         let rate = (self.device.issue_width() * w / f64::from(resident.max(1))).min(w);
@@ -423,11 +893,14 @@ impl<'a> Sim<'a> {
         if resumed {
             dur += self.cost.swap_restore_cycles;
         }
-        self.brt[g][b as usize].state = BState::Running;
-        self.brt[g][b as usize].seg = seg;
+        {
+            let rt = self.blk_mut(g, b);
+            rt.state = BState::Running;
+            rt.seg = seg;
+        }
         let start = self.now;
         for &(child, offset) in &task.launches {
-            self.brt[g][b as usize].unfinished_children += 1;
+            self.blk_mut(g, b).unfinished_children += 1;
             if let Some(p) = self.prof.as_deref_mut() {
                 p.on_launch(g, b, sm_idx, child as usize, start + offset);
             }
@@ -436,24 +909,25 @@ impl<'a> Sim<'a> {
                 Ev::Release(child as usize),
             );
         }
-        self.push(start + dur, Ev::SegDone(g, b));
+        let cohortable = seg + 1 == block.segments.len() && task.launches.is_empty();
+        self.push_segdone(start + dur, g, b, cohortable);
     }
 
     fn segment_done(&mut self, g: usize, b: u32) {
         let nsegs = self.grids[g].blocks[b as usize].segments.len();
-        let cur = self.brt[g][b as usize].seg;
+        let cur = self.blk(g, b).seg;
         if cur + 1 < nsegs {
             let next = cur + 1;
             let must_wait = self.grids[g].blocks[b as usize].segments[next].wait_children
-                && self.brt[g][b as usize].unfinished_children > 0;
+                && self.blk(g, b).unfinished_children > 0;
             if must_wait {
                 // Swap the parent block out while it waits for children.
-                let sm = self.brt[g][b as usize].sm;
+                let sm = self.blk(g, b).sm;
                 if let Some(p) = self.prof.as_deref_mut() {
                     p.on_block_end(g, b, self.now);
                 }
                 self.vacate(sm, g);
-                let rt = &mut self.brt[g][b as usize];
+                let rt = self.blk_mut(g, b);
                 rt.state = BState::Swapped;
                 rt.seg = next;
                 rt.sm = usize::MAX;
@@ -462,12 +936,12 @@ impl<'a> Sim<'a> {
                 self.start_segment(g, b, next, false);
             }
         } else {
-            let sm = self.brt[g][b as usize].sm;
+            let sm = self.blk(g, b).sm;
             if let Some(p) = self.prof.as_deref_mut() {
                 p.on_block_end(g, b, self.now);
             }
             self.vacate(sm, g);
-            self.brt[g][b as usize].state = BState::Done;
+            self.blk_mut(g, b).state = BState::Done;
             self.grt[g].blocks_left -= 1;
             self.check_grid_done(g);
             self.try_admit();
@@ -484,12 +958,16 @@ impl<'a> Sim<'a> {
             p.on_grid_done(g, self.now);
         }
         // Advance this grid's stream.
-        let key = self.stream_of[g];
+        let s = self.stream_of[g] as usize;
         let next = {
-            let (order, head) = self.streams.get_mut(&key).expect("stream exists");
-            debug_assert_eq!(order[*head], g);
-            *head += 1;
-            order.get(*head).copied()
+            let h = self.stream_start[s] + self.stream_head[s];
+            debug_assert_eq!(self.stream_items[h as usize] as usize, g);
+            self.stream_head[s] += 1;
+            if h + 1 < self.stream_start[s + 1] {
+                Some(self.stream_items[(h + 1) as usize] as usize)
+            } else {
+                None
+            }
         };
         if let Some(n) = next {
             // Host grids carry their serialized driver release from init;
@@ -500,14 +978,197 @@ impl<'a> Sim<'a> {
         // Notify the parent block and grid.
         if let Origin::Device { parent, block, .. } = self.grids[g].origin {
             self.grt[parent].children_left -= 1;
-            let prt = &mut self.brt[parent][block as usize];
+            let prt = self.blk_mut(parent, block);
             prt.unfinished_children -= 1;
             if prt.state == BState::Swapped && prt.unfinished_children == 0 {
                 self.resume_queue.push_back((parent, block));
+                self.fit_epoch += 1;
                 self.try_admit();
             }
             self.check_grid_done(parent);
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Homogeneous-grid fast-forward
+    // -----------------------------------------------------------------
+
+    /// Whether every block of grid `g` is pairwise timing-uniform (single
+    /// launch-free segment, bitwise-identical span/work, same warps).
+    /// Cached per grid; O(blocks) on first query with early exit.
+    fn grid_uniform(&mut self, g: usize) -> bool {
+        match self.uniform[g] {
+            UNIFORM_YES => true,
+            UNIFORM_NO => false,
+            _ => {
+                let blocks = &self.grids[g].blocks;
+                let ok =
+                    !blocks.is_empty() && blocks.iter().all(|b| b.timing_uniform_with(&blocks[0]));
+                self.uniform[g] = if ok { UNIFORM_YES } else { UNIFORM_NO };
+                ok
+            }
+        }
+    }
+
+    /// Fast-forward entry check (DESIGN.md §11). Preconditions, verified
+    /// here, under which the wheel replays the slow path exactly:
+    ///
+    /// - no resumable parents and at most grid `g` awaiting dispatch, so
+    ///   `try_admit` degenerates to replacement dispatch of `g`'s blocks;
+    /// - every queued event is a `SegDone` of `g` or a *provably inert*
+    ///   release (already pool-serviced, not its stream's head — stream
+    ///   heads cannot advance while `g` is the only runnable grid, so the
+    ///   pop only sets the released flag);
+    /// - `g` has no children and is timing-uniform, so replacement
+    ///   durations depend only on the target SM's residency at dispatch —
+    ///   exactly what the wheel recomputes with the live `pick_sm`.
+    fn maybe_fast_forward(&mut self, hint: Option<usize>) {
+        if !self.resume_queue.is_empty() {
+            return;
+        }
+        let g = match self.admit_queue.len() {
+            0 => match hint {
+                Some(g) => g,
+                None => return,
+            },
+            1 => self.admit_queue[0],
+            _ => return,
+        };
+        self.flush_cohort();
+        if self.segdone_entries[g] == 0
+            || self.grt[g].children_left != 0
+            || self.segdone_entries[g] as usize + self.release_entries != self.queue.len()
+            || self.release_entries > MAX_FF_RELEASE_SCAN
+            || !self.grid_uniform(g)
+        {
+            return;
+        }
+        if self.release_entries > 0 {
+            for &(_, _, ev) in self.queue.entries() {
+                if let Ev::Release(r) = ev {
+                    if !self.grt[r].launch_serviced || self.is_stream_head(r) {
+                        return;
+                    }
+                }
+            }
+        }
+        self.fast_forward(g);
+    }
+
+    /// Play the remaining events of the only runnable grid `g` on a sorted
+    /// wheel: teardown + replacement dispatch per completion, inert
+    /// releases in their exact time slots, profiler spans emitted
+    /// per-block as usual. The wheel mirrors the slow path operation for
+    /// operation (same `pick_sm`, same rate/duration arithmetic, same
+    /// call order), it merely bypasses the queue and the admission scans
+    /// that are no-ops under the entry preconditions.
+    fn fast_forward(&mut self, g: usize) {
+        self.stat_wheel_runs += 1;
+        let mut wheel = std::mem::take(&mut self.wheel);
+        wheel.clear();
+        while let Some((t, seq, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Release(r) => wheel.push((t, seq, WheelEv::Release(r))),
+                Ev::SegDone(gg, b) => {
+                    debug_assert_eq!(gg, g);
+                    wheel.push((t, seq, WheelEv::Seg(b)));
+                }
+                Ev::SegDoneN(gg, first, n) => {
+                    debug_assert_eq!(gg, g);
+                    for i in 0..n {
+                        wheel.push((t, seq + u64::from(i), WheelEv::Seg(first + i)));
+                    }
+                }
+            }
+        }
+        self.release_entries = 0;
+        self.segdone_entries[g] = 0;
+        let total = self.grids[g].blocks.len();
+        let b0 = &self.grids[g].blocks[0];
+        let (span, work, w) = (
+            b0.segments[0].span,
+            b0.segments[0].work,
+            f64::from(b0.warps),
+        );
+        let iw = self.device.issue_width();
+        let max_warps = self.device.max_warps_per_sm;
+        let mut head = 0;
+        let mut finished = false;
+        while head < wheel.len() {
+            let (t, _, ev) = wheel[head];
+            head += 1;
+            self.warp_integral += self.resident_warps as f64 * (t - self.now);
+            self.now = t;
+            self.makespan = self.makespan.max(t);
+            match ev {
+                WheelEv::Release(r) => {
+                    self.grt[r].released = true;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        p.on_release(r, t);
+                    }
+                    // maybe_activate(r) is a no-op by the entry check: r is
+                    // not its stream's head and heads are frozen until g
+                    // completes.
+                }
+                WheelEv::Seg(b) => {
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        p.on_block_end(g, b, t);
+                    }
+                    let sm = self.blk(g, b).sm;
+                    self.vacate(sm, g);
+                    self.blk_mut(g, b).state = BState::Done;
+                    self.grt[g].blocks_left -= 1;
+                    // Replacement dispatch — the slow path's try_admit
+                    // restricted to window [g] with an empty resume queue.
+                    while self.grt[g].next_block < total {
+                        let Some(sm2) = self.pick_sm(g) else { break };
+                        let nb = self.grt[g].next_block as u32;
+                        self.grt[g].next_block += 1;
+                        self.occupy(sm2, g);
+                        let rt = self.blk_mut(g, nb);
+                        rt.state = BState::Running;
+                        rt.sm = sm2;
+                        if let Some(p) = self.prof.as_deref_mut() {
+                            p.on_block_start(g, nb, sm2, t, false);
+                        }
+                        let resident = max_warps - self.sms[sm2].free_warps;
+                        let rate = (iw * w / f64::from(resident.max(1))).min(w);
+                        let dur = span.max(work / rate);
+                        self.seq += 1;
+                        let entry = (t + dur, self.seq, WheelEv::Seg(nb));
+                        let pos = wheel[head..]
+                            .partition_point(|&(et, _, _)| et.total_cmp(&entry.0).is_le());
+                        wheel.insert(head + pos, entry);
+                    }
+                    if self.grt[g].blocks_left == 0 {
+                        finished = true;
+                        break;
+                    }
+                }
+            }
+        }
+        debug_assert!(finished || self.grt[g].blocks_left == 0);
+        // Re-queue whatever the early exit left (only releases due after
+        // the grid's completion); their original seqs keep the order.
+        while head < wheel.len() {
+            let (t, seq, ev) = wheel[head];
+            head += 1;
+            match ev {
+                WheelEv::Release(r) => {
+                    self.release_entries += 1;
+                    self.queue.push(t, seq, Ev::Release(r));
+                }
+                WheelEv::Seg(_) => unreachable!("segdones outliving their grid"),
+            }
+        }
+        self.wheel = wheel;
+        // Mirror the slow path's final teardown tail: by now the slow path
+        // would have dropped the exhausted grid from the admit queue, then
+        // run check_grid_done + try_admit at the completion time.
+        self.admit_queue.clear();
+        self.scanned_epoch = u64::MAX;
+        self.check_grid_done(g);
+        self.try_admit();
     }
 }
 
@@ -516,6 +1177,7 @@ mod tests {
     use super::*;
     use crate::block::{BlockOutcome, SegmentTask};
     use crate::kernel::LaunchConfig;
+    use crate::prof::Profile;
 
     fn seg(span: f64, work: f64) -> SegmentTask {
         SegmentTask {
@@ -552,6 +1214,27 @@ mod tests {
 
     fn host(seq: u32) -> Origin {
         Origin::Host { seq, stream: 0 }
+    }
+
+    /// Run the same batch with fast paths on and off (collector attached)
+    /// and require bitwise-identical timing and profiler output.
+    fn assert_ff_exact(build: impl Fn() -> Vec<GridTask>) -> TimingResult {
+        let run = |ff: bool| {
+            let mut d = DeviceConfig::tiny();
+            d.fast_forward = ff;
+            let c = CostModel::default();
+            let grids = build();
+            let mut col = Collector::new(grids.len());
+            let r = simulate(&grids, &d, &c, Some(&mut col));
+            let mut p = Profile::default();
+            col.finish(&grids, &d, &mut p);
+            (r, p)
+        };
+        let (r_on, p_on) = run(true);
+        let (r_off, p_off) = run(false);
+        assert_eq!(r_on, r_off, "timing diverges between fast and slow path");
+        assert_eq!(p_on, p_off, "profile diverges between fast and slow path");
+        r_on
     }
 
     #[test]
@@ -925,5 +1608,370 @@ mod tests {
         );
         let r = simulate(&[g], &d, &c, None);
         assert!((r.makespan - (c.host_launch_cycles + 400.0)).abs() < 1e-6);
+    }
+
+    // -- fast-path equivalence ------------------------------------------
+
+    #[test]
+    fn fast_forward_matches_slow_path_on_uniform_waves() {
+        // Far more blocks than the device holds: the wheel replays many
+        // replacement-dispatch rounds, including the residency ramp where
+        // durations differ block to block.
+        for blocks in [1usize, 7, 16, 97] {
+            let r = assert_ff_exact(|| {
+                let bl: Vec<BlockOutcome> = (0..blocks)
+                    .map(|_| block(1, vec![seg(100.0, 400.0)]))
+                    .collect();
+                vec![grid(
+                    host(0),
+                    LaunchConfig::new(blocks as u32, 32),
+                    bl,
+                    vec![],
+                )]
+            });
+            assert!(r.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn fast_forward_matches_slow_path_with_trailing_releases() {
+        // Same-stream successors release while the first grid is being
+        // fast-forwarded (and after it finishes): the wheel must process
+        // mid-flight releases inertly and re-queue trailing ones.
+        assert_ff_exact(|| {
+            (0..4u32)
+                .map(|i| {
+                    let bl: Vec<BlockOutcome> =
+                        (0..24).map(|_| block(1, vec![seg(150.0, 600.0)])).collect();
+                    grid(host(i), LaunchConfig::new(24, 32), bl, vec![])
+                })
+                .collect()
+        });
+    }
+
+    #[test]
+    fn fast_forward_respects_second_stream_heads() {
+        // A second host stream's head releases mid-run: the wheel must not
+        // engage across that activation (or must reproduce it exactly).
+        assert_ff_exact(|| {
+            let big = |seq, stream| {
+                let bl: Vec<BlockOutcome> = (0..32)
+                    .map(|_| block(1, vec![seg(500.0, 2000.0)]))
+                    .collect();
+                grid(
+                    Origin::Host { seq, stream },
+                    LaunchConfig::new(32, 32),
+                    bl,
+                    vec![],
+                )
+            };
+            vec![big(0, 0), big(1, 1)]
+        });
+    }
+
+    #[test]
+    fn cohorts_match_slow_path_on_heterogeneous_blocks() {
+        // Mixed span/work defeats uniformity (no wheel) but still forms
+        // partial cohorts where end times coincide.
+        assert_ff_exact(|| {
+            let bl: Vec<BlockOutcome> = (0..24)
+                .map(|i| block(1, vec![seg(100.0 + (i % 3) as f64 * 50.0, 300.0)]))
+                .collect();
+            vec![grid(host(0), LaunchConfig::new(24, 32), bl, vec![])]
+        });
+    }
+
+    #[test]
+    fn fast_paths_match_slow_path_on_dp_storm() {
+        // Launch storm through the pending-launch pool incl. overflow:
+        // exercises unserviced releases, device streams, and child grids
+        // that are themselves wheel-eligible.
+        assert_ff_exact(|| {
+            let n_children = 96u32;
+            let launches: Vec<(u32, f64)> = (1..=n_children).map(|i| (i, 1.0)).collect();
+            let mut grids = vec![grid(
+                host(0),
+                LaunchConfig::new(1, 32),
+                vec![BlockOutcome {
+                    warps: 1,
+                    segments: vec![SegmentTask {
+                        span: 10.0,
+                        work: 10.0,
+                        wait_children: false,
+                        launches,
+                    }],
+                    replayed: false,
+                }],
+                (1..=n_children as usize).collect(),
+            )];
+            for i in 0..n_children {
+                grids.push(grid(
+                    Origin::Device {
+                        parent: 0,
+                        block: 0,
+                        stream_slot: i,
+                    },
+                    LaunchConfig::new(4, 64),
+                    (0..4).map(|_| block(2, vec![seg(40.0, 80.0)])).collect(),
+                    vec![],
+                ));
+            }
+            grids
+        });
+    }
+
+    #[test]
+    fn fast_paths_match_slow_path_with_swapping_parents() {
+        // Parent joins its child (swap + resume) while a sibling uniform
+        // grid is wheel-eligible: resume_queue traffic must block the
+        // wheel without changing results.
+        assert_ff_exact(|| {
+            let parent = grid(
+                host(0),
+                LaunchConfig::new(1, 32),
+                vec![BlockOutcome {
+                    warps: 1,
+                    segments: vec![
+                        SegmentTask {
+                            span: 20.0,
+                            work: 20.0,
+                            wait_children: false,
+                            launches: vec![(2, 5.0)],
+                        },
+                        SegmentTask {
+                            span: 30.0,
+                            work: 30.0,
+                            wait_children: true,
+                            launches: vec![],
+                        },
+                    ],
+                    replayed: false,
+                }],
+                vec![2],
+            );
+            let sibling = {
+                let bl: Vec<BlockOutcome> =
+                    (0..20).map(|_| block(1, vec![seg(300.0, 900.0)])).collect();
+                grid(
+                    Origin::Host { seq: 1, stream: 1 },
+                    LaunchConfig::new(20, 32),
+                    bl,
+                    vec![],
+                )
+            };
+            let child = grid(
+                Origin::Device {
+                    parent: 0,
+                    block: 0,
+                    stream_slot: 0,
+                },
+                LaunchConfig::new(8, 32),
+                (0..8).map(|_| block(1, vec![seg(700.0, 700.0)])).collect(),
+                vec![],
+            );
+            vec![parent, sibling, child]
+        });
+    }
+
+    // -- calendar queue -------------------------------------------------
+
+    /// Total order on event times (f64) for the reference heap.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct TimeKey(f64);
+    impl Eq for TimeKey {}
+    impl PartialOrd for TimeKey {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for TimeKey {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+
+    #[test]
+    fn calendar_matches_binary_heap_pop_order() {
+        use rand::{Rng, SeedableRng};
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        for seed in 0..4u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut cal = CalendarQueue::new();
+            let mut heap: BinaryHeap<Reverse<(TimeKey, u64, Ev)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0.0f64;
+            // An event storm with heavy ties (quantized times), bursts,
+            // sparse jumps, and interleaved pops — including runs of pops
+            // that drain the queue completely.
+            for _ in 0..2_000 {
+                let burst = rng.gen_range(0usize..8);
+                for _ in 0..burst {
+                    let dt = match rng.gen_range(0u32..10) {
+                        0..=5 => f64::from(rng.gen_range(0u32..40)) * 25.0,
+                        6..=8 => f64::from(rng.gen_range(0u32..1_000)),
+                        _ => f64::from(rng.gen_range(0u32..100)) * 10_000.0,
+                    };
+                    let t = now + dt;
+                    seq += 1;
+                    let ev = if rng.gen_bool(0.3) {
+                        Ev::Release(rng.gen_range(0usize..64))
+                    } else {
+                        Ev::SegDone(rng.gen_range(0usize..64), rng.gen_range(0u32..256))
+                    };
+                    cal.push(t, seq, ev);
+                    heap.push(Reverse((TimeKey(t), seq, ev)));
+                }
+                let pops = rng.gen_range(0usize..10);
+                for _ in 0..pops {
+                    let want = heap.pop();
+                    let got = cal.pop();
+                    match (want, got) {
+                        (None, None) => break,
+                        (Some(Reverse((TimeKey(t), s, ev))), Some((ct, cs, cev))) => {
+                            assert_eq!(t.to_bits(), ct.to_bits(), "time order diverged");
+                            assert_eq!(s, cs, "seq tie-break diverged at t={t}");
+                            assert_eq!(ev, cev);
+                            now = t;
+                        }
+                        (w, g) => panic!("length diverged: heap={w:?} cal={g:?}"),
+                    }
+                }
+            }
+            // Drain both completely.
+            while let Some(Reverse((TimeKey(t), s, ev))) = heap.pop() {
+                let (ct, cs, cev) = cal.pop().expect("calendar drained early");
+                assert_eq!((t.to_bits(), s, ev), (ct.to_bits(), cs, cev));
+            }
+            assert!(cal.pop().is_none());
+            assert_eq!(cal.len(), 0);
+        }
+    }
+
+    #[test]
+    fn fast_paths_actually_engage() {
+        // Guard against the equivalence tests passing vacuously because an
+        // entry condition quietly never holds.
+        let d = DeviceConfig::tiny();
+        let c = CostModel::default();
+
+        // A lone uniform grid must hit the wheel.
+        let bl: Vec<BlockOutcome> = (0..48).map(|_| block(1, vec![seg(100.0, 400.0)])).collect();
+        let grids = vec![grid(host(0), LaunchConfig::new(48, 32), bl, vec![])];
+        let mut sim = Sim::new(&grids, &d, &c, None);
+        sim.run();
+        assert!(sim.stat_wheel_runs > 0, "wheel never engaged");
+
+        // A two-phase grid (not pairwise uniform, so no wheel) whose final
+        // wave ends in lockstep must tear down through a cohort fan-out.
+        let bl: Vec<BlockOutcome> = (0..16)
+            .map(|i| {
+                let span = if i < 8 { 100.0 } else { 250.0 };
+                block(1, vec![seg(span, span)])
+            })
+            .collect();
+        let grids = vec![grid(host(0), LaunchConfig::new(16, 32), bl, vec![])];
+        let mut sim = Sim::new(&grids, &d, &c, None);
+        sim.run();
+        assert_eq!(sim.stat_wheel_runs, 0, "mixed-span grid must not wheel");
+        assert!(sim.stat_cohort_fanouts > 0, "cohort fan-out never engaged");
+    }
+
+    /// Manual timing-pass microbenchmark (`cargo test --release -p npar-sim
+    /// -- --ignored bench_timing_pass --nocapture`): K20-scale batches
+    /// mirroring simbench's regular and dp-heavy mixes, fast paths off vs
+    /// on. Not a correctness test — the equivalence suite covers that.
+    #[test]
+    #[ignore = "manual perf measurement"]
+    fn bench_timing_pass() {
+        let c = CostModel::default();
+        let regular = || {
+            let bl: Vec<BlockOutcome> = (0..128)
+                .map(|_| block(8, vec![seg(500.0, 4000.0)]))
+                .collect();
+            (0..6u32)
+                .map(|i| grid(host(i), LaunchConfig::new(128, 256), bl.clone(), vec![]))
+                .collect::<Vec<_>>()
+        };
+        let dp_storm = || {
+            let mut grids = Vec::new();
+            for l in 0..6u32 {
+                let parent_id = grids.len();
+                let nchildren = 64usize;
+                let first_child = parent_id + 1;
+                let blocks: Vec<BlockOutcome> = (0..nchildren)
+                    .map(|b| {
+                        block(
+                            2,
+                            vec![SegmentTask {
+                                span: 50.0,
+                                work: 100.0,
+                                wait_children: false,
+                                launches: vec![((first_child + b) as u32, 10.0)],
+                            }],
+                        )
+                    })
+                    .collect();
+                grids.push(grid(
+                    host(l),
+                    LaunchConfig::new(nchildren as u32, 64),
+                    blocks,
+                    (first_child..first_child + nchildren).collect(),
+                ));
+                for b in 0..nchildren {
+                    grids.push(grid(
+                        Origin::Device {
+                            parent: parent_id,
+                            block: b as u32,
+                            stream_slot: 0,
+                        },
+                        LaunchConfig::new(4, 64),
+                        (0..4).map(|_| block(2, vec![seg(40.0, 80.0)])).collect(),
+                        vec![],
+                    ));
+                }
+            }
+            grids
+        };
+        for (name, build) in [
+            ("regular", regular as fn() -> Vec<GridTask>),
+            ("dp-storm", dp_storm as fn() -> Vec<GridTask>),
+        ] {
+            let grids = build();
+            let mut times = [0.0f64; 2];
+            for (slot, ff) in [(0usize, false), (1, true)] {
+                let mut d = DeviceConfig::kepler_k20();
+                d.fast_forward = ff;
+                let iters = 200;
+                let mut best = f64::INFINITY;
+                for _ in 0..5 {
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(simulate(&grids, &d, &c, None));
+                    }
+                    best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+                }
+                times[slot] = best;
+            }
+            println!(
+                "{name:>9}: off {:>8.1}us  on {:>8.1}us  gain {:.2}x",
+                times[0] * 1e6,
+                times[1] * 1e6,
+                times[0] / times[1]
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_handles_identical_times_by_seq() {
+        let mut cal = CalendarQueue::with_geometry(16, 64.0);
+        for s in (1..=100u64).rev() {
+            cal.push(1234.5, s, Ev::Release(s as usize));
+        }
+        for s in 1..=100u64 {
+            let (t, cs, _) = cal.pop().unwrap();
+            assert_eq!((t, cs), (1234.5, s));
+        }
     }
 }
