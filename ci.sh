@@ -5,12 +5,18 @@
 # the heterogeneous (divergent) workload paying >3% wall for the fast
 # paths — all against the checked-in crates/bench/BENCH_sim_baseline.json
 # (refresh with
-#   cargo run --release -p npar-bench --bin simbench -- --update-baseline).
+#   # Static-analysis gate: no kernel class's verdict may drop from `proven`
+# (crates/bench/ANALYZE_baseline.json; refresh with --update-baseline).
+cargo run --release -p npar-bench --bin analyze_all
+cargo run --release -p npar-bench --bin simbench -- --update-baseline).
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo fmt --check
-cargo clippy --all-targets -- -D warnings
+# clippy.toml bans nondeterminism hazards (partial_cmp / comparator sorts
+# on floats, std HashMap/HashSet) workspace-wide; --workspace also lints
+# the bench member, which the root package does not depend on.
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 # Once pinned to the serial executor, once at the machine's default thread
 # count (the parallel executor when >1 core) — reports must be bit-identical
@@ -21,4 +27,7 @@ NPAR_THREADS=1 cargo test -q
 cargo test -q
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo test -q --doc --workspace
+# Static-analysis gate: no kernel class's verdict may drop from `proven`
+# (crates/bench/ANALYZE_baseline.json; refresh with --update-baseline).
+cargo run --release -p npar-bench --bin analyze_all
 cargo run --release -p npar-bench --bin simbench

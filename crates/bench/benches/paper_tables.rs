@@ -35,6 +35,7 @@ fn bench(group: &str, name: &str, mut f: impl FnMut()) {
         f();
         samples.push(start.elapsed().as_secs_f64());
     }
+    #[allow(clippy::disallowed_methods)] // total_cmp comparator
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
     let (value, unit) = if median >= 1.0 {

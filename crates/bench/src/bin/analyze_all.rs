@@ -1,0 +1,286 @@
+//! CI gate for npar-analyze: run the static analyzer across every loop
+//! template, recursive template, sort and graph app the repo ships (the
+//! same small seeded workloads tests/checker.rs proves hazard-clean under
+//! Strict), and compare each kernel class's verdict tags against the
+//! checked-in `crates/bench/ANALYZE_baseline.json`.
+//!
+//! A **regression** is any class whose baseline verdict was `proven`
+//! coming back `unproven` or `flagged` — statically-proven facts are load
+//! bearing (they gate scan elision), so losing one silently would erode
+//! the Strict-mode fast path. New kernel classes are fine (they extend
+//! the baseline on the next `--update-baseline`); a class that disappears
+//! entirely only warns, so kernel renames don't hard-fail CI.
+//!
+//! Refresh with
+//!   cargo run --release -p npar-bench --bin analyze_all -- --update-baseline
+
+use npar_apps::{bc, bfs, pagerank, sort, spmv, sssp, tree_apps};
+use npar_bench::{runner, table};
+use npar_core::{LoopParams, LoopTemplate, RecParams, RecTemplate};
+use npar_graph::{uniform_random, with_random_weights};
+use npar_sim::{AnalysisReport, CheckLevel, Gpu};
+use npar_tree::TreeGen;
+use serde::{Deserialize, Serialize};
+
+/// One kernel class's verdict tags in one workload.
+#[derive(Serialize, Deserialize, Clone)]
+struct ClassRow {
+    workload: String,
+    kernel: String,
+    block_dim: u32,
+    shared_mem_bytes: u32,
+    elision: String,
+    barriers: String,
+    shared_bounds: String,
+    shared_races: String,
+    global_races: String,
+}
+
+impl ClassRow {
+    /// The verdict columns the baseline gate inspects, by name.
+    fn verdicts(&self) -> [(&'static str, &str); 5] {
+        [
+            ("elision", &self.elision),
+            ("barriers", &self.barriers),
+            ("shared_bounds", &self.shared_bounds),
+            ("shared_races", &self.shared_races),
+            ("global_races", &self.global_races),
+        ]
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    rows: Vec<ClassRow>,
+}
+
+/// Lives next to the bench crate so it can be checked in and versioned,
+/// like `BENCH_sim_baseline.json`.
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("ANALYZE_baseline.json")
+}
+
+/// Run one workload under Strict with analysis on and flatten its report.
+fn analyze(workload: &str, run: impl FnOnce(&mut Gpu) + Send + 'static) -> Vec<ClassRow> {
+    let workload = workload.to_string();
+    let report: AnalysisReport = runner::with_big_stack(move || {
+        let mut gpu = Gpu::k20().with_check(CheckLevel::Strict).with_analyze(true);
+        run(&mut gpu);
+        gpu.analysis()
+    });
+    report
+        .kernels
+        .iter()
+        .map(|k| ClassRow {
+            workload: workload.clone(),
+            kernel: k.kernel.clone(),
+            block_dim: k.block_dim,
+            shared_mem_bytes: k.shared_mem_bytes,
+            elision: k.elision.tag().to_string(),
+            barriers: k.barriers.tag().to_string(),
+            shared_bounds: k.shared_bounds.tag().to_string(),
+            shared_races: k.shared_races.tag().to_string(),
+            global_races: k.global_races.tag().to_string(),
+        })
+        .collect()
+}
+
+fn collect() -> Vec<ClassRow> {
+    let mut rows = Vec::new();
+
+    // Every loop template, via SpMV (the paper's canonical irregular loop).
+    let g = with_random_weights(&uniform_random(300, 1, 14, 33), 7, 5);
+    let x = vec![1.0f32; g.num_nodes()];
+    for template in LoopTemplate::ALL {
+        let (g, x) = (g.clone(), x.clone());
+        rows.extend(analyze(&format!("spmv/{template}"), move |gpu| {
+            spmv::spmv_gpu(gpu, &g, &x, template, &LoopParams::default());
+        }));
+    }
+
+    // Every recursive template, via tree descendants.
+    let tree = TreeGen {
+        depth: 6,
+        outdegree: 6,
+        sparsity: 1,
+        seed: 99,
+    }
+    .generate();
+    for template in RecTemplate::ALL {
+        let tree = tree.clone();
+        rows.extend(analyze(&format!("tree/{template}"), move |gpu| {
+            tree_apps::tree_gpu(
+                gpu,
+                &tree,
+                tree_apps::TreeMetric::Descendants,
+                template,
+                &RecParams::default(),
+            );
+        }));
+    }
+
+    // Graph apps on a shared small graph.
+    let g = with_random_weights(&uniform_random(250, 1, 12, 21), 9, 4);
+    for template in [
+        LoopTemplate::ThreadMapped,
+        LoopTemplate::DbufShared,
+        LoopTemplate::DparNaive,
+    ] {
+        let g = g.clone();
+        rows.extend(analyze(&format!("sssp/{template}"), move |gpu| {
+            sssp::sssp_gpu(gpu, &g, 0, template, &LoopParams::default());
+        }));
+    }
+    {
+        let g = g.clone();
+        rows.extend(analyze("bfs/flat", move |gpu| {
+            bfs::bfs_flat_gpu(
+                gpu,
+                &g,
+                0,
+                LoopTemplate::ThreadMapped,
+                &LoopParams::default(),
+            );
+        }));
+    }
+    for (label, variant) in [
+        ("bfs/rec-naive", bfs::RecBfsVariant::Naive),
+        ("bfs/rec-hier", bfs::RecBfsVariant::Hier),
+    ] {
+        let g = g.clone();
+        rows.extend(analyze(label, move |gpu| {
+            bfs::bfs_recursive_gpu(gpu, &g, 0, variant, 2);
+        }));
+    }
+    {
+        let g = g.clone();
+        rows.extend(analyze("pagerank/block-mapped", move |gpu| {
+            pagerank::pagerank_gpu(
+                gpu,
+                &g,
+                3,
+                LoopTemplate::BlockMapped,
+                &LoopParams::default(),
+            );
+        }));
+    }
+    {
+        let sources = bc::sample_sources(&g, 2);
+        rows.extend(analyze("bc/dual-queue", move |gpu| {
+            bc::bc_gpu(
+                gpu,
+                &g,
+                &sources,
+                LoopTemplate::DualQueue,
+                &LoopParams::default(),
+            );
+        }));
+    }
+
+    // Sorts.
+    {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(424242);
+        let input: Vec<u32> = (0..6_000).map(|_| rng.gen::<u32>()).collect();
+        for algo in [
+            sort::SortAlgo::MergeFlat,
+            sort::SortAlgo::QuickSimple,
+            sort::SortAlgo::QuickAdvanced,
+        ] {
+            let input = input.clone();
+            rows.extend(analyze(&format!("sort/{}", algo.label()), move |gpu| {
+                sort::sort_gpu(gpu, &input, algo, &sort::SortParams::default());
+            }));
+        }
+    }
+
+    rows.sort_by_key(|r| {
+        (
+            r.workload.clone(),
+            r.kernel.clone(),
+            r.block_dim,
+            r.shared_mem_bytes,
+        )
+    });
+    rows
+}
+
+fn main() {
+    runner::init();
+    let rows = collect();
+
+    let mut t = table::Table::new(
+        "npar-analyze verdicts across templates, sorts and apps",
+        &[
+            "workload", "kernel", "bd", "shared", "elision", "barriers", "oob", "s-race", "g-race",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.workload.clone(),
+            r.kernel.clone(),
+            r.block_dim.to_string(),
+            r.shared_mem_bytes.to_string(),
+            r.elision.clone(),
+            r.barriers.clone(),
+            r.shared_bounds.clone(),
+            r.shared_races.clone(),
+            r.global_races.clone(),
+        ]);
+    }
+    println!("{}", t.render());
+    let proven = rows.iter().filter(|r| r.elision == "proven").count();
+    println!(
+        "{} kernel classes, {} with statically-proven elision",
+        rows.len(),
+        proven
+    );
+
+    if runner::update_baseline() {
+        let baseline = Baseline { rows };
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+        std::fs::write(baseline_path(), json).expect("write baseline");
+        println!("baseline updated: {}", baseline_path().display());
+        return;
+    }
+
+    match std::fs::read_to_string(baseline_path()) {
+        Ok(text) => {
+            let baseline: Baseline = serde_json::from_str(&text).expect("parse baseline");
+            let mut regressed = false;
+            for b in &baseline.rows {
+                let Some(r) = rows.iter().find(|r| {
+                    r.workload == b.workload
+                        && r.kernel == b.kernel
+                        && r.block_dim == b.block_dim
+                        && r.shared_mem_bytes == b.shared_mem_bytes
+                }) else {
+                    eprintln!(
+                        "note: baseline class {}/{} (bd={}) no longer observed",
+                        b.workload, b.kernel, b.block_dim
+                    );
+                    continue;
+                };
+                for ((name, now), (_, then)) in r.verdicts().iter().zip(b.verdicts().iter()) {
+                    if *then == "proven" && *now != "proven" {
+                        eprintln!(
+                            "REGRESSION: {}/{} (bd={}) {name} dropped from proven to {now}",
+                            b.workload, b.kernel, b.block_dim
+                        );
+                        regressed = true;
+                    }
+                }
+            }
+            if regressed {
+                std::process::exit(1);
+            }
+            println!("all statically-proven verdicts held against the baseline");
+        }
+        Err(_) => {
+            eprintln!(
+                "no baseline at {} (run with --update-baseline to create one); skipping check",
+                baseline_path().display()
+            );
+        }
+    }
+}

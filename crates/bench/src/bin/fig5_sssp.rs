@@ -24,7 +24,7 @@ fn main() {
         npar_graph::DegreeStats::of(&g)
     );
 
-    let base = runner::with_big_stack({
+    let (base, analysis) = runner::with_big_stack({
         let g = g.clone();
         move || {
             let mut gpu = runner::gpu();
@@ -36,7 +36,9 @@ fn main() {
                 &LoopParams::default(),
             );
             runner::export_profile(&mut gpu, "fig5_sssp_thread-mapped");
-            r
+            // The baseline run doubles as the advisor's probe: npar-analyze
+            // reads the thread-mapped traces and predicts the best template.
+            (r, gpu.analysis())
         }
     });
     println!(
@@ -84,4 +86,35 @@ fn main() {
         ]);
     }
     results::save("fig5_sssp", &[t], &rows);
+
+    if runner::analyze_enabled() && !analysis.is_empty() {
+        println!("\nnpar-analyze [fig5 thread-mapped probe]\n{analysis}");
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .expect("fig5 produced rows");
+        let measured = if best.speedup > 1.0 {
+            best.template.as_str()
+        } else {
+            "thread-mapped"
+        };
+        // The template sweep transforms the hot kernel; pick it by total
+        // probe work, not block count (the update helper ties on blocks).
+        if let Some(k) = analysis
+            .kernels
+            .iter()
+            .max_by_key(|k| u64::from(k.lane_ops_max) * k.blocks)
+        {
+            let advice = k.advise();
+            let verdict = if advice.template == measured {
+                "agree"
+            } else {
+                "DISAGREE"
+            };
+            println!(
+                "advisor on `{}`: {} | measured best: {} -> {}",
+                k.kernel, advice.template, measured, verdict
+            );
+        }
+    }
 }

@@ -135,4 +135,87 @@ fn main() {
     }
 
     results::save("fig6_lbthres", &tables, &all_rows);
+
+    if runner::analyze_enabled() {
+        // Probe each app's thread-mapped baseline and print the advisor's
+        // template pick next to the measured best of the lbTHRES sweep.
+        type Probe = Box<dyn FnOnce(&mut npar_sim::Gpu)>;
+        let probes: [(&str, Probe); 3] = [
+            ("bc", {
+                let g = datasets::wiki_vote();
+                let sources = bc::sample_sources(&g, 8);
+                Box::new(move |gpu| {
+                    bc::bc_gpu(
+                        gpu,
+                        &g,
+                        &sources,
+                        LoopTemplate::ThreadMapped,
+                        &LoopParams::default(),
+                    );
+                })
+            }),
+            ("pagerank", {
+                let g = datasets::citeseer_unweighted();
+                Box::new(move |gpu| {
+                    pagerank::pagerank_gpu(
+                        gpu,
+                        &g,
+                        5,
+                        LoopTemplate::ThreadMapped,
+                        &LoopParams::default(),
+                    );
+                })
+            }),
+            ("spmv", {
+                let g = datasets::citeseer();
+                let x: Vec<f32> = (0..g.num_nodes()).map(|i| (i % 13) as f32 * 0.25).collect();
+                Box::new(move |gpu| {
+                    spmv::spmv_gpu(
+                        gpu,
+                        &g,
+                        &x,
+                        LoopTemplate::ThreadMapped,
+                        &LoopParams::default(),
+                    );
+                })
+            }),
+        ];
+        for (app, probe) in probes {
+            let analysis = {
+                let mut gpu = runner::gpu();
+                probe(&mut gpu);
+                gpu.analysis()
+            };
+            if analysis.is_empty() {
+                continue;
+            }
+            println!("\nnpar-analyze [fig6 {app} thread-mapped probe]\n{analysis}");
+            let best = all_rows
+                .iter()
+                .filter(|r| r.app == app)
+                .max_by(|a, b| a.speedup.total_cmp(&b.speedup));
+            let (measured, best_speedup) = match best {
+                Some(b) if b.speedup > 1.0 => (b.template.as_str(), b.speedup),
+                _ => ("thread-mapped", 1.0),
+            };
+            // Compare on the hot kernel (most total probe work), not on
+            // whichever helper ties on block count.
+            if let Some(k) = analysis
+                .kernels
+                .iter()
+                .max_by_key(|k| u64::from(k.lane_ops_max) * k.blocks)
+            {
+                let advice = k.advise();
+                let verdict = if advice.template == measured {
+                    "agree"
+                } else {
+                    "DISAGREE"
+                };
+                println!(
+                    "advisor on `{}`: {} | measured best: {} ({:.2}x) -> {}",
+                    k.kernel, advice.template, measured, best_speedup, verdict
+                );
+            }
+        }
+    }
 }

@@ -79,6 +79,36 @@ fn main() {
         ]);
     }
     results::save("fig9_recursive_bfs", &[t], &rows);
+
+    if runner::analyze_enabled() {
+        // Probe the naive recursive variant on the densest range: its
+        // launch-shape facts (child sizes, recursion depth) are what the
+        // advisor reads to pick between dpar-thres / rec-hier / dpar.
+        let range = (1u32, 1024);
+        let analysis = runner::with_big_stack(move || {
+            let g = datasets::fig9_graph(n, range);
+            let mut gpu = runner::gpu();
+            let _ = bfs::bfs_recursive_gpu(&mut gpu, &g, 0, bfs::RecBfsVariant::Naive, 1);
+            gpu.analysis()
+        });
+        if !analysis.is_empty() {
+            println!("\nnpar-analyze [fig9 naive probe, outdegree [1, 1024]]\n{analysis}");
+            if let Some(k) = analysis
+                .kernels
+                .iter()
+                .filter(|k| k.launch_shape.spawned_grids > 0)
+                .max_by_key(|k| k.blocks)
+            {
+                println!(
+                    "advisor on `{}`: {} (measured: every DP variant trails \
+                     the flat kernel here — consolidation advice, not a \
+                     template crossover)",
+                    k.kernel,
+                    k.advise().template
+                );
+            }
+        }
+    }
 }
 
 fn one_range(n: usize, range: (u32, u32)) -> Row {

@@ -157,6 +157,23 @@ fn run_workload(name: &str, memo: bool, threads: usize, fast_forward: bool) -> R
         .with_memo(memo)
         .with_threads(threads)
         .with_fast_forward(fast_forward);
+    drive(&mut gpu, name);
+    gpu.synchronize()
+}
+
+/// Strict-checked run for the elision column: single-threaded, memo and
+/// fast paths on, hazard scanning at full severity with proof-carrying
+/// elision on or off.
+fn run_workload_strict(name: &str, elide: bool) -> Report {
+    let mut gpu = Gpu::k20()
+        .with_check(npar_sim::CheckLevel::Strict)
+        .with_elide(elide);
+    drive(&mut gpu, name);
+    gpu.synchronize()
+}
+
+/// Queue one batch of `name`'s launches on `gpu`.
+fn drive(gpu: &mut Gpu, name: &str) {
     match name {
         "regular" => {
             let threads = 128 * 256;
@@ -185,7 +202,6 @@ fn run_workload(name: &str, memo: bool, threads: usize, fast_forward: bool) -> R
         }
         other => panic!("unknown workload {other}"),
     }
-    gpu.synchronize()
 }
 
 /// Best-of-`ITERS` wall time per mode, with the representative reports.
@@ -239,6 +255,30 @@ fn measure_ff(name: &str) -> (FfSample, FfSample) {
     )
 }
 
+/// Strict-mode wall with proof-carrying elision on vs off (best of
+/// iters, alternating like [`measure`]). The returned report is the
+/// elide-on representative, for the elided-block share.
+fn measure_strict(name: &str) -> (f64, f64, Report) {
+    let mut best_wall = [f64::INFINITY; 2];
+    let mut on_report = None;
+    for _ in 0..ITERS {
+        for (slot, elide) in [(0, false), (1, true)] {
+            let r = run_workload_strict(name, elide);
+            if r.sim.wall_seconds < best_wall[slot] {
+                best_wall[slot] = r.sim.wall_seconds;
+                if elide {
+                    on_report = Some(r);
+                }
+            }
+        }
+    }
+    (
+        best_wall[1],
+        best_wall[0],
+        on_report.expect("iterations ran"),
+    )
+}
+
 /// Best-of-`ITERS` wall time at each sweep thread count (memo on). Thread
 /// counts alternate within each iteration, like [`measure`].
 fn measure_scaling(name: &str) -> Vec<(usize, f64, Report)> {
@@ -284,6 +324,14 @@ struct Row {
     ff_timing_speedup: f64,
     /// Wall-time ratio fast-on / fast-off (worst-case overhead gate).
     ff_wall_ratio: f64,
+    /// Strict-mode wall with proof-carrying scan elision (best of iters).
+    strict_on_seconds: f64,
+    /// Strict-mode wall with elision disabled (full per-block scans).
+    strict_off_seconds: f64,
+    /// Strict-mode speedup bought by elision (off / on).
+    strict_elide_speedup: f64,
+    /// Blocks whose scan was elided in the elide-on run.
+    strict_elided_blocks: u64,
 }
 
 #[derive(Serialize)]
@@ -310,6 +358,9 @@ struct BaselineRow {
     /// Timing-pass fast-path speedup at baseline-refresh time; the gate
     /// fails when the live ratio drops below 70% of this.
     ff_timing_speedup: f64,
+    /// Strict-mode elision speedup at baseline-refresh time; same 70%
+    /// gate, applied only where the baseline shows a real gain (>1.05x).
+    strict_elide_speedup: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -336,6 +387,7 @@ fn main() {
                 "{name}: both modes must trace identical work"
             );
             let (ff_off, ff_on) = measure_ff(name);
+            let (strict_on, strict_off, strict_r) = measure_strict(name);
             Row {
                 workload: name.to_string(),
                 memo_off_seconds: off_s,
@@ -353,6 +405,10 @@ fn main() {
                 timing_share: (ff_on.timing_ns as f64 * 1e-9 / on_s).min(1.0),
                 ff_timing_speedup: ff_off.timing_ns as f64 / ff_on.timing_ns.max(1) as f64,
                 ff_wall_ratio: ff_on.wall / ff_off.wall,
+                strict_on_seconds: strict_on,
+                strict_off_seconds: strict_off,
+                strict_elide_speedup: strict_off / strict_on,
+                strict_elided_blocks: strict_r.sim.elided,
             }
         })
         .collect();
@@ -371,6 +427,9 @@ fn main() {
             "blocks/s (on)",
             "timing",
             "ffwd gain",
+            "strict wall",
+            "elide gain",
+            "elided",
         ],
     );
     for r in &rows {
@@ -390,6 +449,13 @@ fn main() {
                 table::pct(r.timing_share)
             ),
             table::fx(r.ff_timing_speedup),
+            format!(
+                "{} / {}",
+                table::ms(r.strict_on_seconds),
+                table::ms(r.strict_off_seconds)
+            ),
+            table::fx(r.strict_elide_speedup),
+            table::count(r.strict_elided_blocks),
         ]);
     }
 
@@ -476,6 +542,7 @@ fn main() {
                     memo_on_ops_per_sec: r.memo_on_ops_per_sec,
                     memo_off_ops_per_sec: r.memo_off_ops_per_sec,
                     ff_timing_speedup: r.ff_timing_speedup,
+                    strict_elide_speedup: r.strict_elide_speedup,
                 })
                 .collect(),
         };
@@ -516,6 +583,29 @@ fn main() {
                     eprintln!(
                         "REGRESSION: {} timing-pass fast-path speedup {:.2}x vs baseline {:.2}x",
                         b.workload, r.ff_timing_speedup, b.ff_timing_speedup
+                    );
+                    regressed = true;
+                }
+                // Strict-mode elision gate, mirroring the fast-path one:
+                // where the baseline shows a real gain, the live run must
+                // keep at least 70% of it. Workloads that never promote
+                // (divergent) sit near 1.0x and are exempt, but elision
+                // may never *cost* more than ~7% wall anywhere (the
+                // never-promoted worst case pays forced fingerprinting).
+                if b.strict_elide_speedup > 1.05
+                    && r.strict_elide_speedup < b.strict_elide_speedup * 0.7
+                {
+                    eprintln!(
+                        "REGRESSION: {} strict elision speedup {:.2}x vs baseline {:.2}x",
+                        b.workload, r.strict_elide_speedup, b.strict_elide_speedup
+                    );
+                    regressed = true;
+                }
+                if r.strict_elide_speedup < 0.93 {
+                    eprintln!(
+                        "REGRESSION: {} strict wall with elision on is {:.3}x of off (>1.075x cost)",
+                        b.workload,
+                        1.0 / r.strict_elide_speedup
                     );
                     regressed = true;
                 }

@@ -2,11 +2,12 @@
 //!
 //! Every experiment binary shares one command-line surface, parsed once by
 //! [`parse`] and cached: `--check[=warn|strict]`, `--no-memo`,
-//! `--fast-forward=on|off`, `--threads N`, `--profile[=<path>]`, and
-//! `--update-baseline` (acted on by `simbench` only, accepted everywhere
-//! for uniformity). Unknown or malformed flags print a usage message to
-//! stderr and exit nonzero — silently ignoring a typo like `--threads=abc`
-//! or `--check=bogus` would run the wrong experiment.
+//! `--fast-forward=on|off`, `--threads N`, `--profile[=<path>]`,
+//! `--analyze`, `--no-elide`, and `--update-baseline` (acted on by
+//! `simbench` only, accepted everywhere for uniformity). Unknown or
+//! malformed flags print a usage message to stderr and exit nonzero —
+//! silently ignoring a typo like `--threads=abc` or `--check=bogus` would
+//! run the wrong experiment.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -28,6 +29,13 @@ pub struct Args {
     /// `--profile[=<path>]`: `Some(None)` for the default per-run path,
     /// `Some(Some(path))` for an explicit one.
     pub profile: Option<Option<String>>,
+    /// `--analyze`: collect and print npar-analyze kernel verdicts and
+    /// template advice after the runs.
+    pub analyze: bool,
+    /// Inverted `--no-elide`: whether npar-check may skip scans for
+    /// statically proven-clean kernels (on by default; reports are
+    /// identical either way).
+    pub elide: bool,
     /// `--update-baseline` (simbench).
     pub update_baseline: bool,
 }
@@ -40,6 +48,8 @@ impl Default for Args {
             fast_forward: true,
             threads: None,
             profile: None,
+            analyze: false,
+            elide: true,
             update_baseline: false,
         }
     }
@@ -53,6 +63,8 @@ usage: <experiment> [flags]
   --fast-forward=on|off   toggle the timing-pass fast paths (default on)
   --threads N             host worker threads (default: NPAR_THREADS/cores)
   --profile[=<path>]      export npar-prof Chrome traces (see PROFILING.md)
+  --analyze               print npar-analyze verdicts and template advice
+  --no-elide              disable proof-carrying scan elision (differential)
   --update-baseline       rewrite the simbench baseline (simbench only)";
 
 /// Parse an argument list (without the binary name). Pure so the error
@@ -69,6 +81,8 @@ pub fn parse(args: &[String]) -> Result<Args, String> {
             "--fast-forward=on" => out.fast_forward = true,
             "--fast-forward=off" => out.fast_forward = false,
             "--profile" => out.profile = Some(None),
+            "--analyze" => out.analyze = true,
+            "--no-elide" => out.elide = false,
             "--update-baseline" => out.update_baseline = true,
             _ => {
                 if let Some(path) = arg.strip_prefix("--profile=") {
@@ -155,6 +169,21 @@ pub fn thread_count() -> Option<usize> {
     parsed().threads
 }
 
+/// Whether `--analyze` was passed: binaries then collect npar-analyze
+/// kernel verdicts during their runs and print them (with template advice)
+/// via [`print_analysis`].
+pub fn analyze_enabled() -> bool {
+    parsed().analyze
+}
+
+/// Whether proof-carrying scan elision stays enabled (`--no-elide` forces
+/// every block through the full per-block scans, for differential testing
+/// and for measuring the elision itself); hazard reports are identical
+/// either way.
+pub fn elide_enabled() -> bool {
+    parsed().elide
+}
+
 /// Whether `--update-baseline` was passed (simbench rewrites its stored
 /// baseline instead of gating against it).
 pub fn update_baseline() -> bool {
@@ -227,11 +256,28 @@ pub fn with_check_flag(gpu: Gpu) -> Gpu {
         .with_check(check_level())
         .with_memo(memo_enabled())
         .with_fast_forward(fast_forward_enabled())
+        .with_elide(elide_enabled())
+        .with_analyze(analyze_enabled())
         .with_profiler(profiling());
     match thread_count() {
         Some(n) => gpu.with_threads(n),
         None => gpu,
     }
+}
+
+/// Print the npar-analyze report accumulated by `gpu` (verdicts per kernel
+/// class plus the template advisor's recommendation), when `--analyze` is
+/// active and the run observed any kernels. `tag` names the run in the
+/// section header.
+pub fn print_analysis(gpu: &Gpu, tag: &str) {
+    if !analyze_enabled() {
+        return;
+    }
+    let report = gpu.analysis();
+    if report.is_empty() {
+        return;
+    }
+    println!("\nnpar-analyze [{tag}]\n{report}");
 }
 
 /// Run an experiment on a worker thread with a large stack.
@@ -318,6 +364,8 @@ mod tests {
             "--threads",
             "8",
             "--profile=out.json",
+            "--analyze",
+            "--no-elide",
             "--update-baseline",
         ])
         .unwrap();
@@ -326,6 +374,8 @@ mod tests {
         assert!(!a.fast_forward);
         assert_eq!(a.threads, Some(8));
         assert_eq!(a.profile, Some(Some("out.json".into())));
+        assert!(a.analyze);
+        assert!(!a.elide);
         assert!(a.update_baseline);
 
         let a = p(&["--check", "--threads=2", "--profile", "--fast-forward=on"]).unwrap();
@@ -346,6 +396,8 @@ mod tests {
             &["--fast-forward=maybe"],
             &["--profile="],
             &["--no-meno"],
+            &["--analyze=on"],
+            &["--no-elide=1"],
             &["extra-positional"],
         ] {
             let err = p(bad).unwrap_err();
@@ -358,6 +410,8 @@ mod tests {
             "--fast-forward",
             "--threads",
             "--profile",
+            "--analyze",
+            "--no-elide",
         ] {
             assert!(USAGE.contains(flag));
         }

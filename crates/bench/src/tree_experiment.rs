@@ -78,9 +78,71 @@ pub fn run(metric: TreeMetric) -> (Vec<Table>, Vec<TreeRow>) {
     // the Section III.C streams discussion.
     tables.push(streams_table(metric));
 
+    if runner::analyze_enabled() {
+        print_advice(metric, &reg_rows);
+    }
+
     let mut rows = reg_rows;
     rows.extend(irr_rows);
     (tables, rows)
+}
+
+/// `--analyze`: probe the naive recursive template on the largest regular
+/// tree, print the npar-analyze report, and compare the advisor's pick
+/// against the measured best template of that configuration.
+fn print_advice(metric: TreeMetric, reg_rows: &[TreeRow]) {
+    let analysis = runner::with_big_stack(move || {
+        let tree = datasets::fig78_tree(512, 0);
+        let mut gpu = runner::gpu();
+        let _ = tree_gpu(
+            &mut gpu,
+            &tree,
+            metric,
+            RecTemplate::RecNaive,
+            &RecParams::default(),
+        );
+        gpu.analysis()
+    });
+    if analysis.is_empty() {
+        return;
+    }
+    println!("\nnpar-analyze [rec-naive probe, outdegree 512]\n{analysis}");
+    let Some(row) = reg_rows.iter().find(|r| r.config == "outdegree 512") else {
+        return;
+    };
+    let Some(best) = row
+        .variants
+        .iter()
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+    else {
+        return;
+    };
+    let Some(k) = analysis
+        .kernels
+        .iter()
+        .filter(|k| k.launch_shape.spawned_grids > 0)
+        .max_by_key(|k| k.blocks)
+    else {
+        return;
+    };
+    let advice = k.advise();
+    // The advisor speaks the paper's generic template vocabulary; map it
+    // onto the tree apps' three recursion templates for the comparison.
+    let mapped = match advice.template {
+        "rec-hier" => "rec-hier",
+        "dpar" | "dpar-thres" => "rec-naive",
+        "thread-mapped" => "flat",
+        other => other,
+    };
+    let verdict = if mapped == best.template {
+        "agree"
+    } else {
+        "DISAGREE"
+    };
+    println!(
+        "advisor on `{}`: {} (-> {}) | measured best: {} -> {}",
+        k.kernel, advice.template, mapped, best.template, verdict
+    );
 }
 
 fn one_config(metric: TreeMetric, config: String, outdegree: u32, sparsity: u32) -> TreeRow {

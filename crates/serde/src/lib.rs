@@ -10,7 +10,9 @@
 
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+#[allow(clippy::disallowed_types)] // vendored stand-in mirrors serde's std impls
+use std::collections::HashMap;
 use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
@@ -215,12 +217,14 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     }
 }
 
+#[allow(clippy::disallowed_types)] // vendored stand-in mirrors serde's std impls
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         let mut fields: Vec<(String, Value)> = self
             .iter()
             .map(|(k, v)| (k.clone(), v.to_value()))
             .collect();
+        #[allow(clippy::disallowed_methods)] // total order: String keys
         fields.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(fields)
     }

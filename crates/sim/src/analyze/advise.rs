@@ -1,0 +1,175 @@
+//! The template advisor: turns per-kernel analysis facts into a
+//! recommended parallelization template and consolidation granularity.
+//!
+//! This is the compiler-integration angle of the paper's conclusion, made
+//! static: instead of running every template and comparing (the fig5/fig7/
+//! fig9 suites), the advisor reads the probe IR's work-imbalance, the
+//! launch-shape analysis' child-grid statistics and the occupancy lint,
+//! and applies the decision rules the evaluation section establishes —
+//! regular loops stay thread-mapped, irregular loops consolidate into
+//! delayed buffers, dynamic parallelism aggregates its launches (per warp,
+//! per block, or per grid) or inlines small children behind a threshold.
+
+use std::fmt;
+
+use super::KernelAnalysis;
+
+/// At which granularity nested work should be aggregated before it is
+/// (re)distributed — the consolidation axis of the Wu/Li/Becchi
+/// compiler-assisted workload consolidation line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consolidation {
+    /// No aggregation: keep the plain per-thread mapping and serialize
+    /// inner work in the thread that met it.
+    PerThread,
+    /// Aggregate into a per-warp shared buffer and let the warp's lanes
+    /// drain it in lockstep.
+    PerWarp,
+    /// Aggregate into a per-block (shared-memory) buffer, drained
+    /// block-wide — the paper's dbuf-shared shape.
+    PerBlock,
+    /// Aggregate into a global buffer redistributed across the whole grid
+    /// (dbuf-global), or keep genuine device-side child grids.
+    PerGrid,
+    /// Keep launches but inline children below a size threshold into the
+    /// parent thread (the thres/dpar-opt idiom).
+    ThresholdInline,
+}
+
+impl fmt::Display for Consolidation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Consolidation::PerThread => "per-thread (no consolidation)",
+            Consolidation::PerWarp => "per-warp buffer",
+            Consolidation::PerBlock => "per-block buffer",
+            Consolidation::PerGrid => "per-grid / global buffer",
+            Consolidation::ThresholdInline => "thresholded serial inlining",
+        })
+    }
+}
+
+/// The advisor's recommendation for one kernel class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// Recommended template, named in the paper's vocabulary
+    /// (`thread-mapped`, `dbuf-shared`, `dbuf-global`, `dpar-thres`,
+    /// `rec-hier`, `flat`). Bench binaries map this onto their own
+    /// template enums for comparison with measured crossovers.
+    pub template: &'static str,
+    /// Recommended aggregation granularity.
+    pub consolidation: Consolidation,
+    /// Suggested block size when the occupancy lint fired (the launch's
+    /// own block size otherwise).
+    pub block_dim: u32,
+    /// Human-readable justifications, one per contributing fact.
+    pub reasons: Vec<String>,
+}
+
+impl fmt::Display for Advice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "template {} · {} · block_dim {}",
+            self.template, self.consolidation, self.block_dim
+        )?;
+        for r in &self.reasons {
+            write!(f, "\n    - {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Imbalance below which a loop counts as regular (mirrors the core
+/// advisor's `advise_loop` threshold).
+const REGULAR_IMBALANCE: f64 = 4.0;
+/// Per-lane op count below which even imbalanced work is too small to be
+/// worth consolidating.
+const SMALL_MAX_OPS: u32 = 64;
+/// Imbalance beyond which per-block buffers themselves go unbalanced and
+/// the global buffer is the better home (the dbuf-global regime).
+const HEAVY_IMBALANCE: f64 = 32.0;
+
+/// Compute the recommendation for one analyzed kernel class. `warp_size`
+/// comes from the device the analysis ran on.
+pub(crate) fn advise(a: &KernelAnalysis, warp_size: u32) -> Advice {
+    let mut reasons = Vec::new();
+    let mut block_dim = a.block_dim;
+    if a.occupancy.flagged {
+        block_dim = a.occupancy.suggested_block_dim;
+        reasons.push(format!(
+            "occupancy lint: {:.1}% ({} limited) — suggest block_dim {} ({:.1}%)",
+            a.occupancy.occupancy * 100.0,
+            a.occupancy.limiter,
+            a.occupancy.suggested_block_dim,
+            a.occupancy.suggested_occupancy * 100.0,
+        ));
+    }
+
+    let shape = &a.launch_shape;
+    let (template, consolidation) = if shape.spawned_grids > 0 {
+        // Dynamic parallelism: decide from the launch-shape analysis.
+        let mean_child = shape.mean_child_threads();
+        if mean_child <= f64::from(2 * warp_size) {
+            reasons.push(format!(
+                "children average {mean_child:.0} threads (≤ 2 warps): launch \
+                 overhead dominates — inline small children serially behind a \
+                 threshold",
+            ));
+            ("dpar-thres", Consolidation::ThresholdInline)
+        } else if shape.max_depth > 2 && mean_child < f64::from(a.block_dim.max(warp_size)) {
+            reasons.push(format!(
+                "recursion reaches depth {} with sub-block children \
+                 ({mean_child:.0} threads): aggregate frontiers per block \
+                 (hierarchical recursion)",
+                shape.max_depth,
+            ));
+            ("rec-hier", Consolidation::PerBlock)
+        } else {
+            reasons.push(format!(
+                "children are large ({mean_child:.0} threads on average, max \
+                 {}): keep device-side grids and aggregate per grid",
+                shape.child_threads_max,
+            ));
+            ("dpar", Consolidation::PerGrid)
+        }
+    } else {
+        // A leaf loop kernel: decide from the probe's work distribution.
+        let imb = a.imbalance;
+        if imb <= REGULAR_IMBALANCE || a.lane_ops_max <= SMALL_MAX_OPS {
+            reasons.push(format!(
+                "regular work distribution (imbalance {imb:.1}, max {} ops/lane): \
+                 plain thread mapping has no balancing cost to recoup",
+                a.lane_ops_max,
+            ));
+            ("thread-mapped", Consolidation::PerThread)
+        } else if imb > HEAVY_IMBALANCE {
+            reasons.push(format!(
+                "heavy-tailed lanes (imbalance {imb:.1}): per-block buffers \
+                 would themselves go unbalanced — use the global delayed buffer",
+            ));
+            ("dbuf-global", Consolidation::PerGrid)
+        } else {
+            reasons.push(format!(
+                "irregular lanes (imbalance {imb:.1}, max {} ops/lane): buffer \
+                 large iterations per block and drain them block-wide",
+                a.lane_ops_max,
+            ));
+            ("dbuf-shared", Consolidation::PerBlock)
+        }
+    };
+
+    if a.bank_conflicts > 1 {
+        reasons.push(format!(
+            "probe predicts {}-way shared-memory bank conflicts: pad or \
+             restride the shared layout",
+            a.bank_conflicts,
+        ));
+    }
+
+    Advice {
+        template,
+        consolidation,
+        block_dim,
+        reasons,
+    }
+}

@@ -1,0 +1,285 @@
+//! The structural IR npar-analyze extracts from a single probe block.
+//!
+//! The analyzer never runs a full simulation of its own: it piggybacks on
+//! the functional trace the engine records anyway, distilling the first
+//! scanned block of each kernel class into a [`ProbeIr`] — a handful of
+//! integers summarizing barrier structure, address intervals, bank-access
+//! geometry and per-lane work. Every downstream analysis (see
+//! [`super`]) reads only this IR plus the launch configuration and device
+//! description; none of them ever walks a trace again.
+
+use crate::kernel::LaunchConfig;
+use crate::trace::Op;
+
+/// Structural summary of one block's trace — the analysis IR.
+///
+/// All quantities describe the *probe block* only. Facts that generalize
+/// to other blocks (barrier uniformity, shared bounds, race freedom) do so
+/// via the proof-carrying elision contract: a non-probe block inherits the
+/// probe's verdicts only when its canonical trace fingerprint matches the
+/// probe's (see `DESIGN.md` §12).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeIr {
+    /// Threads in the probe block (the launch's `block_dim`).
+    pub lanes: u32,
+    /// Lanes that issued at least one op (inactive tails are common in
+    /// `if tid < n`-guarded kernels).
+    pub active_lanes: u32,
+    /// Barrier segments per lane (`__syncthreads` count + 1).
+    pub segments: u32,
+    /// How many of the delimiters additionally join child grids
+    /// (`sync_children`).
+    pub join_barriers: u32,
+    /// Total ops across all lanes (run-length compute ops count once).
+    pub ops: u64,
+    /// Total arithmetic instructions (expanded run-lengths).
+    pub compute: u64,
+    /// Maximum per-lane op count.
+    pub lane_ops_max: u32,
+    /// Mean per-lane op count over *active* lanes.
+    pub lane_ops_mean: f64,
+    /// Byte interval `[lo, hi)` touched in shared memory, if any.
+    pub shared: Option<(u32, u32)>,
+    /// Number of shared-memory accesses.
+    pub shared_accesses: u64,
+    /// Predicted worst-case shared-memory bank conflict degree: the
+    /// maximum number of distinct words any warp directs at one bank in a
+    /// single lockstep access step. `1` means conflict-free; `0` means no
+    /// shared traffic at all.
+    pub bank_conflict_degree: u32,
+    /// Canonical global byte interval `[lo, hi)` relative to the block's
+    /// first-touched 128-byte line, if any global traffic occurred.
+    pub global_span: Option<(u64, u64)>,
+    /// Number of global-memory accesses (loads + stores + atomics).
+    pub global_accesses: u64,
+    /// Global atomics issued (a cue that the kernel synchronizes through
+    /// memory rather than barriers).
+    pub global_atomics: u64,
+    /// Device-side child launches issued by the probe block.
+    pub launches: u32,
+}
+
+impl ProbeIr {
+    /// Work imbalance across active lanes: `lane_ops_max / lane_ops_mean`
+    /// (`1.0` for perfectly regular kernels, large for single-lane-heavy
+    /// ones). Returns `1.0` when the block did nothing.
+    pub fn imbalance(&self) -> f64 {
+        if self.lane_ops_mean <= 0.0 {
+            1.0
+        } else {
+            f64::from(self.lane_ops_max) / self.lane_ops_mean
+        }
+    }
+}
+
+/// Distill one block's per-lane traces into a [`ProbeIr`].
+///
+/// `warp_size` and `banks` come from the device description; `cfg` is the
+/// grid's launch configuration. The traces must be barrier-uniform (the
+/// caller extracts only from blocks the checker has already segmented, or
+/// sanitized); extraction is a single linear pass over the ops.
+pub(crate) fn extract(
+    traces: &[Vec<Op>],
+    cfg: &LaunchConfig,
+    warp_size: u32,
+    banks: u32,
+) -> ProbeIr {
+    let mut ir = ProbeIr {
+        lanes: cfg.block_dim.min(traces.len() as u32),
+        segments: 1,
+        ..ProbeIr::default()
+    };
+    let mut global_base: Option<u64> = None;
+    let mut total_active_ops = 0u64;
+    for t in traces {
+        let mut lane_ops = 0u32;
+        for op in t {
+            lane_ops += 1;
+            match *op {
+                Op::Compute(n) => ir.compute += u64::from(n),
+                Op::SharedRead { addr } | Op::SharedWrite { addr } | Op::AtomicShared { addr } => {
+                    record_shared(&mut ir, addr);
+                }
+                Op::GlobalRead { addr, size } | Op::GlobalWrite { addr, size } => {
+                    record_global(&mut ir, &mut global_base, addr, u64::from(size));
+                }
+                Op::AtomicGlobal { addr } => {
+                    ir.global_atomics += 1;
+                    record_global(&mut ir, &mut global_base, addr, 4);
+                }
+                Op::Launch { .. } => ir.launches += 1,
+                Op::Sync | Op::SyncChildren => {}
+            }
+        }
+        // Barrier structure comes from lane 0; uniformity across lanes is
+        // the checker's concern, not the extractor's.
+        if ir.active_lanes == 0 && !t.is_empty() {
+            for op in t {
+                match op {
+                    Op::Sync => ir.segments += 1,
+                    Op::SyncChildren => {
+                        ir.segments += 1;
+                        ir.join_barriers += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if lane_ops > 0 {
+            ir.active_lanes += 1;
+            total_active_ops += u64::from(lane_ops);
+        }
+        ir.ops += u64::from(lane_ops);
+        ir.lane_ops_max = ir.lane_ops_max.max(lane_ops);
+    }
+    if ir.active_lanes > 0 {
+        ir.lane_ops_mean = total_active_ops as f64 / f64::from(ir.active_lanes);
+    }
+    ir.bank_conflict_degree = bank_conflicts(traces, warp_size, banks);
+    ir
+}
+
+fn record_shared(ir: &mut ProbeIr, addr: u32) {
+    ir.shared_accesses += 1;
+    let (lo, hi) = (addr, addr.saturating_add(4));
+    ir.shared = Some(match ir.shared {
+        None => (lo, hi),
+        Some((a, b)) => (a.min(lo), b.max(hi)),
+    });
+}
+
+fn record_global(ir: &mut ProbeIr, base: &mut Option<u64>, addr: u64, size: u64) {
+    ir.global_accesses += 1;
+    // Same canonicalization the memo fingerprints use: offsets relative to
+    // the first-touched 128-byte transaction line, so the span is
+    // placement-invariant and comparable across blocks.
+    let b = *base.get_or_insert(addr & !127);
+    let lo = addr.wrapping_sub(b);
+    let hi = lo.wrapping_add(size);
+    ir.global_span = Some(match ir.global_span {
+        None => (lo, hi),
+        Some((a, z)) => (a.min(lo), z.max(hi)),
+    });
+}
+
+/// Predict the worst-case shared-memory bank conflict degree.
+///
+/// Approximation of the lockstep replay: within each warp, the `i`-th
+/// shared access of every lane is assumed to issue in the same access
+/// step (exact for barrier-regular kernels, conservative-ish otherwise,
+/// which is fine for a lint). For each step, accesses are bucketed by
+/// `word % banks`; the degree is the largest count of *distinct* words in
+/// one bank — broadcasts of the same word are conflict-free, as on
+/// hardware.
+fn bank_conflicts(traces: &[Vec<Op>], warp_size: u32, banks: u32) -> u32 {
+    let warp = warp_size.max(1) as usize;
+    let banks = banks.max(1) as usize;
+    let mut degree = 0u32;
+    let mut lanes: Vec<Vec<u32>> = Vec::with_capacity(warp);
+    for chunk in traces.chunks(warp) {
+        lanes.clear();
+        let mut steps = 0usize;
+        for t in chunk {
+            let words: Vec<u32> = t
+                .iter()
+                .filter_map(|op| match *op {
+                    Op::SharedRead { addr }
+                    | Op::SharedWrite { addr }
+                    | Op::AtomicShared { addr } => Some(addr / 4),
+                    _ => None,
+                })
+                .collect();
+            steps = steps.max(words.len());
+            lanes.push(words);
+        }
+        let mut bank_words: Vec<Vec<u32>> = vec![Vec::new(); banks];
+        for step in 0..steps {
+            for bw in &mut bank_words {
+                bw.clear();
+            }
+            for words in &lanes {
+                if let Some(&w) = words.get(step) {
+                    let bw = &mut bank_words[w as usize % banks];
+                    if !bw.contains(&w) {
+                        bw.push(w);
+                    }
+                }
+            }
+            for bw in &bank_words {
+                degree = degree.max(bw.len() as u32);
+            }
+        }
+    }
+    degree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(block_dim: u32) -> LaunchConfig {
+        LaunchConfig::new(1, block_dim)
+    }
+
+    #[test]
+    fn extracts_barrier_and_lane_structure() {
+        let traces = vec![
+            vec![Op::Compute(3), Op::Sync, Op::Compute(1), Op::SyncChildren],
+            vec![Op::Compute(5), Op::Sync, Op::Compute(1), Op::SyncChildren],
+        ];
+        let ir = extract(&traces, &cfg(2), 32, 32);
+        assert_eq!(ir.segments, 3);
+        assert_eq!(ir.join_barriers, 1);
+        assert_eq!(ir.active_lanes, 2);
+        assert_eq!(ir.compute, 10);
+        assert_eq!(ir.lane_ops_max, 4);
+        assert!((ir.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_interval_and_global_span_are_canonical() {
+        let traces = vec![vec![
+            Op::SharedWrite { addr: 8 },
+            Op::SharedRead { addr: 40 },
+            Op::GlobalRead {
+                addr: 0x1000 + 64,
+                size: 4,
+            },
+            Op::GlobalWrite {
+                addr: 0x1000 + 256,
+                size: 8,
+            },
+        ]];
+        let ir = extract(&traces, &cfg(1), 32, 32);
+        assert_eq!(ir.shared, Some((8, 44)));
+        assert_eq!(ir.shared_accesses, 2);
+        // Base line is 0x1000 (the first access rounded down to 128 bytes).
+        assert_eq!(ir.global_span, Some((64, 264)));
+        assert_eq!(ir.global_accesses, 2);
+    }
+
+    #[test]
+    fn bank_conflict_degree_detects_stride_patterns() {
+        // 32 lanes, stride-1 words: conflict-free.
+        let unit: Vec<Vec<Op>> = (0..32)
+            .map(|l| vec![Op::SharedRead { addr: l * 4 }])
+            .collect();
+        assert_eq!(extract(&unit, &cfg(32), 32, 32).bank_conflict_degree, 1);
+        // Stride-32 words: all 32 lanes hit bank 0 with distinct words.
+        let strided: Vec<Vec<Op>> = (0..32)
+            .map(|l| vec![Op::SharedRead { addr: l * 32 * 4 }])
+            .collect();
+        assert_eq!(extract(&strided, &cfg(32), 32, 32).bank_conflict_degree, 32);
+        // Broadcast of one word: conflict-free on hardware and here.
+        let bcast: Vec<Vec<Op>> = (0..32).map(|_| vec![Op::SharedRead { addr: 0 }]).collect();
+        assert_eq!(extract(&bcast, &cfg(32), 32, 32).bank_conflict_degree, 1);
+    }
+
+    #[test]
+    fn imbalance_reflects_heavy_lanes() {
+        let mut traces = vec![vec![Op::Compute(1)]; 32];
+        traces[0] = vec![Op::Compute(1); 64];
+        let ir = extract(&traces, &cfg(32), 32, 32);
+        assert!(ir.imbalance() > 10.0, "imbalance {}", ir.imbalance());
+    }
+}

@@ -1,0 +1,687 @@
+//! npar-analyze — static kernel analysis with proof-carrying checker
+//! elision and a template advisor (DESIGN.md §12).
+//!
+//! The analyzer groups launches into *kernel classes* — one per (kernel
+//! name, `block_dim`, `shared_mem_bytes`) — and distills the first scanned
+//! block of each class into a tiny structural IR ([`ProbeIr`]). It never
+//! runs a simulation of its own: the probe is a single block's functional
+//! trace, which the engine records anyway. Four analyses run over the IR
+//! and the class's accumulated launch facts:
+//!
+//! 1. **Barrier structure** (static synccheck): the probe's barrier
+//!    segmentation, proven non-divergent for every block whose canonical
+//!    trace fingerprint matches the probe's.
+//! 2. **Interval analysis** (static memcheck): the shared/global byte
+//!    intervals the probe touches, proving in-bounds shared access and
+//!    predicting worst-case shared-memory bank conflicts.
+//! 3. **Launch shape**: per-class child-launch counts, child sizes and the
+//!    nesting depth its grids reach — bounding dynamic-parallelism
+//!    recursion per template.
+//! 4. **Resource/occupancy lint**: flags launch configurations whose
+//!    block size or shared usage caps theoretical occupancy below the
+//!    device's sweet spot, with the occupancy-calculator's suggestion.
+//!
+//! **Proof-carrying elision.** Verdicts feed back into npar-check: once a
+//! class has a *promoted probe* — a clean, launch-free block scanned with
+//! zero hazards in a grid that finished with no hazards attributed to the
+//! kernel — later blocks whose canonical fingerprint equals the probe's
+//! signature skip the per-block barrier/bounds/shared-race scans entirely.
+//! The contract (tested in `tests/analyze_soundness.rs`): elision may only
+//! skip work the dynamic checker would have passed. It rests on the same
+//! canonical-fingerprint identity the alignment memo already trusts, and
+//! three guards keep it conservative: launch-bearing blocks never elide
+//! (launch lints stay exact), the cross-block global-race sweep always
+//! runs (elided blocks still contribute their global intervals), and any
+//! hazard later attributed to a kernel permanently flags all its classes,
+//! stopping elision.
+//!
+//! The [`Advice`] produced by [`KernelAnalysis::advise`] is the
+//! compiler-integration endpoint: a recommended template and consolidation
+//! granularity, evaluated against measured crossovers by the fig5/fig7/
+//! fig9 bench suites (`--analyze`).
+
+mod advise;
+mod ir;
+
+pub use advise::{Advice, Consolidation};
+pub use ir::ProbeIr;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::check::{CheckState, HazardKind};
+use crate::config::DeviceConfig;
+use crate::kernel::LaunchConfig;
+use crate::memo::{warp_key, BlockFps};
+use crate::occupancy::{best_block_size, occupancy, Limiter};
+use crate::trace::Op;
+
+/// A class's elision signature: the order- and count-sensitive key over
+/// the block's per-lane canonical trace fingerprints. Equality means the
+/// block issued, lane for lane, the same canonical op sequence as the
+/// promoted probe (modulo the 64-bit-hash collision assumption the
+/// alignment memo already makes).
+pub(crate) fn class_sig(fps: &BlockFps) -> u64 {
+    warp_key(fps.lanes.iter().map(|f| f.value()))
+}
+
+/// Outcome of one static analysis for one kernel class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds for every block of the class: the probe was
+    /// checked clean and every non-scanned block fingerprint-matched it.
+    Proven(String),
+    /// Nothing was proven — the dynamic checker covered (or would cover)
+    /// these blocks. The payload says why the proof did not come through.
+    Unproven(String),
+    /// The dynamic checker recorded hazards against this kernel; the
+    /// payload summarizes them. Flagged classes never elide again.
+    Flagged(String),
+}
+
+impl Verdict {
+    /// Whether the property was statically proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven(_))
+    }
+
+    /// Whether the dynamic checker contradicted the property.
+    pub fn is_flagged(&self) -> bool {
+        matches!(self, Verdict::Flagged(_))
+    }
+
+    /// The human-readable payload.
+    pub fn detail(&self) -> &str {
+        match self {
+            Verdict::Proven(s) | Verdict::Unproven(s) | Verdict::Flagged(s) => s,
+        }
+    }
+
+    /// Short machine-readable tag (`proven` / `unproven` / `flagged`),
+    /// used by the `ANALYZE_baseline.json` CI gate.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Proven(_) => "proven",
+            Verdict::Unproven(_) => "unproven",
+            Verdict::Flagged(_) => "flagged",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proven(s) => write!(f, "proven-clean ({s})"),
+            Verdict::Unproven(s) => write!(f, "unproven: {s}"),
+            Verdict::Flagged(s) => write!(f, "FLAGGED: {s}"),
+        }
+    }
+}
+
+/// Launch-shape facts accumulated for one kernel class (analysis 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchShape {
+    /// Child grids launched by blocks of this class.
+    pub spawned_grids: u64,
+    /// Total threads across those child grids.
+    pub child_threads_total: u64,
+    /// Largest child grid, in threads.
+    pub child_threads_max: u64,
+    /// Largest child `grid_dim`.
+    pub child_grid_dim_max: u32,
+    /// Deepest nesting level grids of this class ran at (host = 0) — the
+    /// observed bound on the class's recursion depth.
+    pub max_depth: u32,
+}
+
+impl LaunchShape {
+    /// Mean child-grid size in threads (`0.0` for leaf kernels).
+    pub fn mean_child_threads(&self) -> f64 {
+        if self.spawned_grids == 0 {
+            0.0
+        } else {
+            self.child_threads_total as f64 / self.spawned_grids as f64
+        }
+    }
+}
+
+/// Resource/occupancy lint output for one kernel class (analysis 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyFacts {
+    /// Theoretical occupancy of the class's launch configuration.
+    pub occupancy: f64,
+    /// The binding hardware limit.
+    pub limiter: Limiter,
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Whether the lint fired: occupancy sits below the device sweet spot
+    /// (50%) while another block size would do meaningfully better.
+    pub flagged: bool,
+    /// The occupancy calculator's suggested block size.
+    pub suggested_block_dim: u32,
+    /// Occupancy at the suggested block size.
+    pub suggested_occupancy: f64,
+}
+
+/// Everything npar-analyze knows about one kernel class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelAnalysis {
+    /// Kernel name.
+    pub kernel: String,
+    /// Block size of this class's launches.
+    pub block_dim: u32,
+    /// Declared shared-memory bytes per block.
+    pub shared_mem_bytes: u32,
+    /// Grids of this class launched so far.
+    pub grids: u64,
+    /// Blocks across those grids.
+    pub blocks: u64,
+    /// Blocks the dynamic checker fully scanned.
+    pub scanned_blocks: u64,
+    /// Blocks whose per-block scans were statically elided.
+    pub elided_blocks: u64,
+    /// Overall elision status (proof-carrying summary).
+    pub elision: Verdict,
+    /// Analysis 1: barrier structure (static synccheck).
+    pub barriers: Verdict,
+    /// Analysis 2a: shared-memory bounds (static memcheck).
+    pub shared_bounds: Verdict,
+    /// Analysis 2b: intra-block shared-memory races.
+    pub shared_races: Verdict,
+    /// Cross-block global races — never elided, reported for symmetry.
+    pub global_races: Verdict,
+    /// Analysis 2c: predicted worst-case bank conflict degree (`0` = no
+    /// shared traffic, `1` = conflict-free).
+    pub bank_conflicts: u32,
+    /// Probe work imbalance (`lane_ops_max / lane_ops_mean`).
+    pub imbalance: f64,
+    /// Probe maximum per-lane op count.
+    pub lane_ops_max: u32,
+    /// Probe barrier segments per lane.
+    pub segments: u32,
+    /// Analysis 3: launch shape.
+    pub launch_shape: LaunchShape,
+    /// Analysis 4: occupancy lint.
+    pub occupancy: OccupancyFacts,
+    /// The raw probe IR, when a block was observed.
+    pub probe: Option<ProbeIr>,
+    /// Device warp size the analysis ran with (advisor input).
+    warp_size: u32,
+}
+
+impl KernelAnalysis {
+    /// The template advisor's recommendation for this class.
+    pub fn advise(&self) -> Advice {
+        advise::advise(self, self.warp_size)
+    }
+}
+
+impl fmt::Display for KernelAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel `{}` <<<*, {}, {}>>> — {} grid(s), {} block(s) \
+             ({} scanned, {} elided)",
+            self.kernel,
+            self.block_dim,
+            self.shared_mem_bytes,
+            self.grids,
+            self.blocks,
+            self.scanned_blocks,
+            self.elided_blocks,
+        )?;
+        writeln!(f, "  elision        {}", self.elision)?;
+        writeln!(f, "  barriers       {}", self.barriers)?;
+        writeln!(f, "  shared bounds  {}", self.shared_bounds)?;
+        writeln!(f, "  shared races   {}", self.shared_races)?;
+        writeln!(f, "  global races   {}", self.global_races)?;
+        match self.bank_conflicts {
+            0 => writeln!(f, "  bank conflicts no shared traffic")?,
+            1 => writeln!(f, "  bank conflicts none predicted")?,
+            n => writeln!(f, "  bank conflicts up to {n}-way predicted")?,
+        }
+        if self.launch_shape.spawned_grids == 0 {
+            writeln!(
+                f,
+                "  launch shape   leaf kernel (depth {})",
+                self.launch_shape.max_depth
+            )?;
+        } else {
+            writeln!(
+                f,
+                "  launch shape   {} child grid(s), mean {:.0} / max {} threads, \
+                 depth ≤ {}",
+                self.launch_shape.spawned_grids,
+                self.launch_shape.mean_child_threads(),
+                self.launch_shape.child_threads_max,
+                self.launch_shape.max_depth,
+            )?;
+        }
+        write!(
+            f,
+            "  occupancy      {:.1}% ({} blocks/SM, {}-limited)",
+            self.occupancy.occupancy * 100.0,
+            self.occupancy.blocks_per_sm,
+            self.occupancy.limiter,
+        )?;
+        if self.occupancy.flagged {
+            write!(
+                f,
+                " — LINT: block_dim {} would reach {:.1}%",
+                self.occupancy.suggested_block_dim,
+                self.occupancy.suggested_occupancy * 100.0,
+            )?;
+        }
+        writeln!(f)?;
+        write!(f, "  advice         {}", self.advise())
+    }
+}
+
+/// The full npar-analyze report: one entry per kernel class, ordered by
+/// kernel name, then first-launch order within a name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisReport {
+    /// Per-class analyses.
+    pub kernels: Vec<KernelAnalysis>,
+}
+
+impl AnalysisReport {
+    /// Whether any kernel class was observed.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// The first class with this kernel name, if any.
+    pub fn get(&self, kernel: &str) -> Option<&KernelAnalysis> {
+        self.kernels.iter().find(|k| k.kernel == kernel)
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "npar-analyze: {} kernel class(es)", self.kernels.len())?;
+        for k in &self.kernels {
+            writeln!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+const KINDS: usize = 6;
+
+fn kind_index(kind: HazardKind) -> usize {
+    match kind {
+        HazardKind::SharedRace => 0,
+        HazardKind::GlobalRace => 1,
+        HazardKind::DivergentBarrier => 2,
+        HazardKind::UnjoinedChildRead => 3,
+        HazardKind::SharedOutOfBounds => 4,
+        HazardKind::InvalidChildLaunch => 5,
+    }
+}
+
+const KIND_NAMES: [&str; KINDS] = [
+    "shared-race",
+    "global-race",
+    "divergent-barrier",
+    "unjoined-child-read",
+    "shared-out-of-bounds",
+    "invalid-child-launch",
+];
+
+/// One kernel class's accumulated state.
+#[derive(Default)]
+struct Class {
+    /// Promoted probe signature: `Some` once a clean, launch-free probe
+    /// block survived a hazard-free grid of this kernel. Cleared forever
+    /// if the class is flagged.
+    proven: Option<u64>,
+    /// A hazard was attributed to this kernel (by name): terminal.
+    flagged: bool,
+    /// Recorded hazards per [`HazardKind`], attributed by kernel name.
+    hazards: [u64; KINDS],
+    /// First scanned block's IR and how it was scanned.
+    probe: Option<ProbeIr>,
+    probe_sanitized: bool,
+    grids: u64,
+    blocks: u64,
+    scanned: u64,
+    elided: u64,
+    max_depth: u32,
+    shape: LaunchShape,
+}
+
+struct ClassSlot {
+    block_dim: u32,
+    shared: u32,
+    class: Class,
+}
+
+/// Engine-resident analyzer state: the class table plus the watermark into
+/// the checker's hazard list (for attributing late hazards to classes).
+#[derive(Default)]
+pub(crate) struct Analyzer {
+    classes: BTreeMap<String, Vec<ClassSlot>>,
+    hazard_mark: usize,
+}
+
+impl Analyzer {
+    fn class_mut(&mut self, name: &str, cfg: &LaunchConfig) -> &mut Class {
+        if !self.classes.contains_key(name) {
+            self.classes.insert(name.to_string(), Vec::new());
+        }
+        let slots = self.classes.get_mut(name).expect("just inserted");
+        let idx = slots
+            .iter()
+            .position(|s| s.block_dim == cfg.block_dim && s.shared == cfg.shared_mem_bytes)
+            .unwrap_or_else(|| {
+                slots.push(ClassSlot {
+                    block_dim: cfg.block_dim,
+                    shared: cfg.shared_mem_bytes,
+                    class: Class::default(),
+                });
+                slots.len() - 1
+            });
+        &mut slots[idx].class
+    }
+
+    /// Open per-grid analysis state; called once per grid, before any of
+    /// its blocks execute, on the main thread.
+    pub(crate) fn begin_grid(
+        &mut self,
+        name: &str,
+        cfg: &LaunchConfig,
+        depth: u32,
+        check: &CheckState,
+    ) -> GridAnalysis {
+        let mark = check.hazard_mark();
+        let class = self.class_mut(name, cfg);
+        class.grids += 1;
+        class.blocks += u64::from(cfg.grid_dim);
+        class.max_depth = class.max_depth.max(depth);
+        GridAnalysis {
+            sig: if class.flagged { None } else { class.proven },
+            need_probe: class.probe.is_none(),
+            candidate: None,
+            probe: None,
+            scanned: 0,
+            elided: 0,
+            hz_mark: mark,
+        }
+    }
+
+    /// Fold a finished grid's observations back into its class and decide
+    /// promotion: the candidate signature becomes the class's proof only
+    /// if the whole grid ended with no hazard attributed to this kernel
+    /// (and no suppressed hazards, which cannot be attributed at all).
+    pub(crate) fn finish_grid(
+        &mut self,
+        name: &str,
+        cfg: &LaunchConfig,
+        ga: GridAnalysis,
+        check: &CheckState,
+    ) {
+        let clean = check.suppressed_since(ga.hz_mark) == 0
+            && check
+                .hazards_since(ga.hz_mark)
+                .iter()
+                .all(|h| h.kernel != name);
+        let class = self.class_mut(name, cfg);
+        class.scanned += ga.scanned;
+        class.elided += ga.elided;
+        if class.probe.is_none() {
+            if let Some((ir, sanitized)) = ga.probe {
+                class.probe = Some(ir);
+                class.probe_sanitized = sanitized;
+            }
+        }
+        if clean && !class.flagged && class.proven.is_none() {
+            class.proven = ga.candidate;
+        }
+    }
+
+    /// Attribute a device-side child launch to the parent's class.
+    pub(crate) fn on_launch(
+        &mut self,
+        parent: &str,
+        parent_cfg: &LaunchConfig,
+        child_cfg: &LaunchConfig,
+    ) {
+        let shape = &mut self.class_mut(parent, parent_cfg).shape;
+        let threads = u64::from(child_cfg.grid_dim) * u64::from(child_cfg.block_dim);
+        shape.spawned_grids += 1;
+        shape.child_threads_total += threads;
+        shape.child_threads_max = shape.child_threads_max.max(threads);
+        shape.child_grid_dim_max = shape.child_grid_dim_max.max(child_cfg.grid_dim);
+    }
+
+    /// Attribute every hazard recorded since the last sweep to its
+    /// kernel's classes (all of them, by name — conservative) and flag
+    /// them, permanently stopping elision. Called after lint resolution,
+    /// before any report can be drained.
+    pub(crate) fn sweep_hazards(&mut self, check: &CheckState) {
+        let (len, _) = check.hazard_mark();
+        if self.hazard_mark > len {
+            // The hazard list was drained since the last sweep.
+            self.hazard_mark = 0;
+        }
+        for h in check.hazards_since((self.hazard_mark, 0)) {
+            if let Some(slots) = self.classes.get_mut(&h.kernel) {
+                for s in slots.iter_mut() {
+                    s.class.flagged = true;
+                    s.class.proven = None;
+                    s.class.hazards[kind_index(h.kind)] += 1;
+                }
+            }
+        }
+        self.hazard_mark = len;
+    }
+
+    /// Forget the hazard watermark — the checker's list was drained.
+    pub(crate) fn note_drained(&mut self) {
+        self.hazard_mark = 0;
+    }
+
+    /// Assemble the public report.
+    pub(crate) fn report(&self, device: &DeviceConfig) -> AnalysisReport {
+        let mut kernels = Vec::new();
+        for (name, slots) in &self.classes {
+            for s in slots {
+                kernels.push(analyze_class(name, s, device));
+            }
+        }
+        AnalysisReport { kernels }
+    }
+}
+
+fn flag_detail(c: &Class, kinds: &[HazardKind]) -> Option<String> {
+    let mut parts = Vec::new();
+    for &k in kinds {
+        let n = c.hazards[kind_index(k)];
+        if n > 0 {
+            parts.push(format!("{n} {} hazard(s)", KIND_NAMES[kind_index(k)]));
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(", "))
+    }
+}
+
+fn analyze_class(name: &str, slot: &ClassSlot, device: &DeviceConfig) -> KernelAnalysis {
+    let c = &slot.class;
+    let probe = c.probe.as_ref();
+    let launches = probe.map_or(0, |p| p.launches);
+
+    // Why this class has no proof, for the Unproven payloads.
+    let unproven_why = if c.probe.is_none() {
+        "no block scanned yet (checker off or nothing launched)"
+    } else if c.probe_sanitized {
+        "probe block diverged at a barrier"
+    } else if launches > 0 {
+        "probe block launches child grids (launch-bearing blocks never elide)"
+    } else {
+        "no clean launch-free probe was promoted; blocks checked dynamically"
+    };
+
+    let proven = c.proven.is_some() && !c.flagged;
+    let verdict = |flag_kinds: &[HazardKind], proven_detail: String| -> Verdict {
+        if let Some(d) = flag_detail(c, flag_kinds) {
+            Verdict::Flagged(d)
+        } else if proven {
+            Verdict::Proven(proven_detail)
+        } else {
+            Verdict::Unproven(unproven_why.to_string())
+        }
+    };
+
+    let barriers = verdict(
+        &[HazardKind::DivergentBarrier],
+        format!(
+            "{} uniform barrier segment(s); non-scanned blocks fingerprint-match the probe",
+            probe.map_or(1, |p| p.segments),
+        ),
+    );
+    let shared_bounds = verdict(
+        &[HazardKind::SharedOutOfBounds],
+        match probe.and_then(|p| p.shared) {
+            None => "no shared-memory traffic".to_string(),
+            Some((lo, hi)) => format!(
+                "probe touches shared [{lo:#x}, {hi:#x}) within {} declared byte(s)",
+                slot.shared,
+            ),
+        },
+    );
+    let shared_races = verdict(
+        &[HazardKind::SharedRace],
+        "probe scan found no intra-block conflicts; non-scanned blocks \
+         fingerprint-match the probe"
+            .to_string(),
+    );
+    let global_races = if let Some(d) = flag_detail(c, &[HazardKind::GlobalRace]) {
+        Verdict::Flagged(d)
+    } else {
+        Verdict::Unproven(
+            "cross-block property — the global sweep always runs, elided or not".to_string(),
+        )
+    };
+
+    let elision = if c.flagged {
+        let all = HazardKind::ALL;
+        Verdict::Flagged(format!(
+            "{} — class permanently excluded from elision",
+            flag_detail(c, &all).unwrap_or_else(|| "hazards recorded".to_string()),
+        ))
+    } else if let Some(sig) = c.proven {
+        Verdict::Proven(format!(
+            "probe signature {sig:#018x}; {} of {} block(s) elided so far",
+            c.elided, c.blocks,
+        ))
+    } else {
+        Verdict::Unproven(unproven_why.to_string())
+    };
+
+    let occ = occupancy(device, slot.block_dim, slot.shared);
+    let suggested = best_block_size(device, slot.shared);
+    let suggested_occ = occupancy(device, suggested, slot.shared).occupancy;
+    let occupancy = OccupancyFacts {
+        occupancy: occ.occupancy,
+        limiter: occ.limiter,
+        blocks_per_sm: occ.blocks_per_sm,
+        flagged: occ.occupancy + 1e-9 < 0.5 && suggested_occ > occ.occupancy + 0.1,
+        suggested_block_dim: suggested,
+        suggested_occupancy: suggested_occ,
+    };
+
+    let mut shape = c.shape.clone();
+    shape.max_depth = c.max_depth;
+
+    KernelAnalysis {
+        kernel: name.to_string(),
+        block_dim: slot.block_dim,
+        shared_mem_bytes: slot.shared,
+        grids: c.grids,
+        blocks: c.blocks,
+        scanned_blocks: c.scanned,
+        elided_blocks: c.elided,
+        elision,
+        barriers,
+        shared_bounds,
+        shared_races,
+        global_races,
+        bank_conflicts: probe.map_or(0, |p| p.bank_conflict_degree),
+        imbalance: probe.map_or(1.0, |p| p.imbalance()),
+        lane_ops_max: probe.map_or(0, |p| p.lane_ops_max),
+        segments: probe.map_or(1, |p| p.segments),
+        launch_shape: shape,
+        occupancy,
+        probe: c.probe.clone(),
+        warp_size: device.warp_size,
+    }
+}
+
+/// Per-grid analysis state, created by [`Analyzer::begin_grid`] and folded
+/// back by [`Analyzer::finish_grid`]. All observation calls happen in
+/// canonical block order on the main thread, which keeps candidate
+/// selection (and therefore promotion and every later elision decision)
+/// independent of host thread count and memoization.
+pub(crate) struct GridAnalysis {
+    /// The class's promoted signature at grid start: blocks matching it
+    /// may elide their scans.
+    sig: Option<u64>,
+    /// Whether the class still needs its probe IR extracted.
+    need_probe: bool,
+    /// First clean, launch-free scanned block's signature this grid.
+    candidate: Option<u64>,
+    /// First scanned block's IR (regardless of cleanliness) + sanitized.
+    probe: Option<(ProbeIr, bool)>,
+    scanned: u64,
+    elided: u64,
+    hz_mark: (usize, u64),
+}
+
+impl GridAnalysis {
+    /// Decide whether a freshly traced block may skip its per-block scans:
+    /// only launch-free blocks whose canonical fingerprint signature
+    /// equals the promoted probe's. Counts the elision on success.
+    pub(crate) fn try_elide(&mut self, fps: &BlockFps) -> bool {
+        match self.sig {
+            Some(sig) if !fps.any_launch() && class_sig(fps) == sig => {
+                self.elided += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record a non-elided block (canonical order). `clean` means the scan
+    /// attributed zero new hazards to this block; `probe_fps` carries the
+    /// block's fingerprints when probing for an elision candidate is
+    /// possible (checker above `Off`, fingerprints computed) — its absence
+    /// also means the checker did not really scan, so nothing is counted.
+    pub(crate) fn observe_scanned(
+        &mut self,
+        traces: &[Vec<Op>],
+        cfg: &LaunchConfig,
+        device: &DeviceConfig,
+        probe_fps: Option<&BlockFps>,
+        sanitized: bool,
+        clean: bool,
+    ) {
+        self.scanned += u64::from(probe_fps.is_some());
+        if self.need_probe && self.probe.is_none() {
+            self.probe = Some((
+                ir::extract(traces, cfg, device.warp_size, device.shared_banks),
+                sanitized,
+            ));
+        }
+        if self.candidate.is_none() && clean && !sanitized {
+            if let Some(fps) = probe_fps {
+                if !fps.any_launch() {
+                    self.candidate = Some(class_sig(fps));
+                }
+            }
+        }
+    }
+}

@@ -79,6 +79,19 @@ pub enum HazardKind {
     InvalidChildLaunch,
 }
 
+impl HazardKind {
+    /// Every hazard kind, in a fixed order (used by npar-analyze to
+    /// tabulate per-kind counts).
+    pub const ALL: [HazardKind; 6] = [
+        HazardKind::SharedRace,
+        HazardKind::GlobalRace,
+        HazardKind::DivergentBarrier,
+        HazardKind::UnjoinedChildRead,
+        HazardKind::SharedOutOfBounds,
+        HazardKind::InvalidChildLaunch,
+    ];
+}
+
 impl fmt::Display for HazardKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -124,6 +137,14 @@ pub struct CheckReport {
     pub hazards: Vec<Hazard>,
     /// Hazards beyond the recording cap, counted but not stored.
     pub suppressed: u64,
+    /// Blocks the checker fully scanned in this batch — what "clean"
+    /// actually covered.
+    pub scanned: u64,
+    /// Blocks whose per-block scans npar-analyze statically elided (their
+    /// global intervals still fed the cross-block sweep; see
+    /// [`crate::analyze`]). `scanned + elided` is every block that ran
+    /// with checking enabled.
+    pub elided: u64,
 }
 
 impl CheckReport {
@@ -151,6 +172,13 @@ impl fmt::Display for CheckReport {
         }
         if self.suppressed > 0 {
             writeln!(f, "  ... and {} more (suppressed)", self.suppressed)?;
+        }
+        if self.scanned + self.elided > 0 {
+            writeln!(
+                f,
+                "  ({} block(s) scanned, {} statically elided)",
+                self.scanned, self.elided
+            )?;
         }
         Ok(())
     }
@@ -189,6 +217,10 @@ pub(crate) struct CheckState {
     /// Detections already counted by an earlier synchronize's report (they
     /// stay pending until drained, but must not be counted twice).
     reported: u64,
+    /// Blocks fully scanned since the last drain (levels above `Off`).
+    scanned_blocks: u64,
+    /// Blocks whose scans npar-analyze elided since the last drain.
+    elided_blocks: u64,
 }
 
 impl CheckState {
@@ -239,7 +271,28 @@ impl CheckState {
         CheckReport {
             hazards: std::mem::take(&mut self.hazards),
             suppressed: std::mem::take(&mut self.suppressed),
+            scanned: std::mem::take(&mut self.scanned_blocks),
+            elided: std::mem::take(&mut self.elided_blocks),
         }
+    }
+
+    /// Watermark into the hazard storage: `(stored, suppressed)`.
+    /// npar-analyze snapshots this at grid start to attribute later
+    /// detections.
+    pub(crate) fn hazard_mark(&self) -> (usize, u64) {
+        (self.hazards.len(), self.suppressed)
+    }
+
+    /// Hazards stored since a [`Self::hazard_mark`] snapshot.
+    pub(crate) fn hazards_since(&self, mark: (usize, u64)) -> &[Hazard] {
+        &self.hazards[mark.0.min(self.hazards.len())..]
+    }
+
+    /// Suppressed (stored-nowhere) detections since a snapshot — these
+    /// cannot be attributed to a kernel, so npar-analyze treats any growth
+    /// as disqualifying.
+    pub(crate) fn suppressed_since(&self, mark: (usize, u64)) -> u64 {
+        self.suppressed.saturating_sub(mark.1)
     }
 
     /// Splice a worker-local state into this one, in canonical order.
@@ -263,6 +316,8 @@ impl CheckState {
         self.suppressed += other.suppressed;
         self.fatal |= other.fatal;
         self.lints.extend(other.lints);
+        self.scanned_blocks += other.scanned_blocks;
+        self.elided_blocks += other.elided_blocks;
     }
 
     /// Forget batch-scoped bookkeeping (grid ids restart at zero after a
@@ -321,6 +376,9 @@ pub(crate) fn scan_block(
     cfg: &LaunchConfig,
     gaccess: &mut GridAccess,
 ) -> bool {
+    if st.level != CheckLevel::Off {
+        st.scanned_blocks += 1;
+    }
     if let Some(details) = synccheck::barrier_divergence(traces) {
         st.record_fatal(Hazard {
             kind: HazardKind::DivergentBarrier,
@@ -341,6 +399,23 @@ pub(crate) fn scan_block(
     racecheck::collect_global(traces, block, gaccess);
     synccheck::scan_unjoined_reads(st, traces, &ranges, &delims, nsegs, kernel, grid, block);
     false
+}
+
+/// The statically-elided counterpart of [`scan_block`]: npar-analyze has
+/// proven (by fingerprint identity with a promoted probe block) that the
+/// per-block barrier/bounds/shared-race scans would pass, so only the work
+/// feeding *cross-block* analyses remains — collecting the block's global
+/// intervals for [`finish_grid`]'s sweep, which is never elided. Launch-
+/// bearing blocks never reach this path, so no lint can be missed either.
+pub(crate) fn scan_block_elided(
+    st: &mut CheckState,
+    traces: &[Vec<Op>],
+    block: u32,
+    gaccess: &mut GridAccess,
+) {
+    debug_assert!(st.level != CheckLevel::Off);
+    st.elided_blocks += 1;
+    racecheck::collect_global(traces, block, gaccess);
 }
 
 /// Cross-block analysis once every block of a grid has executed: sweep the
@@ -736,8 +811,13 @@ mod tests {
         let r = CheckReport {
             hazards: vec![h],
             suppressed: 2,
+            scanned: 5,
+            elided: 7,
         };
         assert!(r.to_string().contains("3 hazard(s)"));
         assert!(r.to_string().contains("suppressed"));
+        assert!(r
+            .to_string()
+            .contains("5 block(s) scanned, 7 statically elided"));
     }
 }

@@ -73,6 +73,18 @@ pub struct DeviceConfig {
     /// [`crate::Gpu::with_fast_forward`] disable it for ablation and
     /// differential testing.
     pub fast_forward: bool,
+    /// Whether npar-check may elide per-block scans for kernels
+    /// npar-analyze has statically proven clean (see [`crate::analyze`]
+    /// and DESIGN.md §12). Elision only ever skips work the dynamic
+    /// checker would have passed, so hazard reports are identical either
+    /// way; `--no-elide` / [`crate::Gpu::with_elide`] disable it for
+    /// differential testing and auditing. Has no effect while the checker
+    /// is [`CheckLevel::Off`].
+    pub elide: bool,
+    /// Whether npar-analyze collects kernel analyses even when elision is
+    /// inactive (e.g. with the checker off). Off by default; `--analyze` /
+    /// [`crate::Gpu::with_analyze`] enable it. Elision implies analysis.
+    pub analyze: bool,
 }
 
 impl DeviceConfig {
@@ -99,6 +111,8 @@ impl DeviceConfig {
             check: CheckLevel::Off,
             memo: true,
             fast_forward: true,
+            elide: true,
+            analyze: false,
         }
     }
 
@@ -137,6 +151,8 @@ impl DeviceConfig {
             check: CheckLevel::Off,
             memo: true,
             fast_forward: true,
+            elide: true,
+            analyze: false,
         }
     }
 

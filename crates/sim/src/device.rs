@@ -178,6 +178,58 @@ impl Gpu {
         self.engine.device.fast_forward
     }
 
+    /// Enable or disable proof-carrying scan elision (see
+    /// [`crate::analyze`] and DESIGN.md §12). On by default; while the
+    /// checker runs above [`CheckLevel::Off`], kernels npar-analyze has
+    /// proven clean skip their per-block hazard scans. Elision only ever
+    /// skips work the dynamic checker would have passed, so hazard counts
+    /// and reports are identical either way — disabling it (`--no-elide`)
+    /// is only useful for differential testing and timing audits.
+    pub fn set_elide(&mut self, enabled: bool) {
+        self.engine.device.elide = enabled;
+    }
+
+    /// Builder-style [`Gpu::set_elide`].
+    #[must_use]
+    pub fn with_elide(mut self, enabled: bool) -> Self {
+        self.set_elide(enabled);
+        self
+    }
+
+    /// Whether proof-carrying scan elision is enabled (it has effect only
+    /// while the checker runs above [`CheckLevel::Off`]).
+    pub fn elide_enabled(&self) -> bool {
+        self.engine.device.elide
+    }
+
+    /// Enable or disable npar-analyze collection independently of elision
+    /// (`--analyze`). Off by default — but an active eliding checker
+    /// implies collection, so this flag only matters for reading
+    /// [`Gpu::analysis`] with elision disabled or the checker off.
+    pub fn set_analyze(&mut self, enabled: bool) {
+        self.engine.device.analyze = enabled;
+    }
+
+    /// Builder-style [`Gpu::set_analyze`].
+    #[must_use]
+    pub fn with_analyze(mut self, enabled: bool) -> Self {
+        self.set_analyze(enabled);
+        self
+    }
+
+    /// Whether npar-analyze collection was explicitly requested.
+    pub fn analyze_enabled(&self) -> bool {
+        self.engine.device.analyze
+    }
+
+    /// The current npar-analyze report: one [`crate::analyze::KernelAnalysis`]
+    /// per kernel class observed so far (empty unless analysis is active —
+    /// i.e. [`Gpu::set_analyze`], or elision with the checker on).
+    /// Analysis state accumulates across synchronizes, like the memo cache.
+    pub fn analysis(&self) -> crate::analyze::AnalysisReport {
+        self.engine.analyzer.report(&self.engine.device)
+    }
+
     /// Enable or disable the timeline profiler (see [`crate::prof`]). Off
     /// by default. While enabled, every [`Gpu::synchronize`] appends the
     /// batch's timeline — kernel spans, per-SM block residency,
@@ -238,6 +290,7 @@ impl Gpu {
     /// Drain the hazards recorded since the last drain (or synchronize).
     /// Useful under [`CheckLevel::Warn`], where launches keep succeeding.
     pub fn take_check_report(&mut self) -> CheckReport {
+        self.engine.analyzer.note_drained();
         self.engine.check.take_report()
     }
 
@@ -279,9 +332,16 @@ impl Gpu {
         let t0 = std::time::Instant::now();
         register_grid(&mut self.engine, &kernel, cfg, Origin::Host { seq, stream });
         check::resolve_lints(&mut self.engine);
+        // Defense in depth for elision: attribute every hazard recorded
+        // during this launch (including late-resolved lints) to its
+        // kernel's analysis classes, permanently flagging them so no
+        // future grid of a hazardous kernel elides a scan.
+        self.engine.analyzer.sweep_hazards(&self.engine.check);
         self.engine.stats.wall_seconds += t0.elapsed().as_secs_f64();
         let st = &mut self.engine.check;
         if st.is_fatal() || (st.level == CheckLevel::Strict && st.has_hazards()) {
+            self.engine.analyzer.note_drained();
+            let st = &mut self.engine.check;
             return Err(SimError::Hazard(st.take_report()));
         }
         Ok(())

@@ -48,6 +48,9 @@ pub(crate) struct GridTask {
     pub name: String,
     pub cfg: LaunchConfig,
     pub origin: Origin,
+    /// Nesting depth: 0 for host launches, parent's depth + 1 for device
+    /// launches (npar-analyze's recursion-depth bound observes this).
+    pub depth: u32,
     pub blocks: Vec<BlockOutcome>,
     pub children: Vec<usize>,
     /// Pending functional work (None once executed).
@@ -100,6 +103,9 @@ pub(crate) struct Engine {
     /// only at grid boundaries so both execution paths see identical
     /// policy for every block.
     pub memo_classes: BTreeMap<String, ClassStats>,
+    /// npar-analyze state: per-kernel-class probe facts, launch shapes and
+    /// proof-carrying elision signatures (see [`crate::analyze`]).
+    pub analyzer: crate::analyze::Analyzer,
 }
 
 impl Engine {
@@ -125,7 +131,28 @@ impl Engine {
             bufs: BufPool::default(),
             chunks: Vec::new(),
             memo_classes: BTreeMap::new(),
+            analyzer: crate::analyze::Analyzer::default(),
         }
+    }
+
+    /// Whether proof-carrying scan elision is in force: the device opted
+    /// in (the default) and there is a checker whose work could be elided.
+    pub(crate) fn elide_active(&self) -> bool {
+        self.device.elide && self.check.level != crate::check::CheckLevel::Off
+    }
+
+    /// Whether npar-analyze collects class state at all: explicitly
+    /// requested, or implied by active elision.
+    pub(crate) fn analysis_active(&self) -> bool {
+        self.device.analyze || self.elide_active()
+    }
+
+    /// Whether blocks probe for elision candidates (requires scans to
+    /// exist — i.e. a checker above `Off` — but deliberately not the
+    /// `elide` flag itself, so `--no-elide` runs reach identical analysis
+    /// verdicts).
+    pub(crate) fn probe_active(&self) -> bool {
+        self.analysis_active() && self.check.level != crate::check::CheckLevel::Off
     }
 
     /// Validate a launch configuration against the device limits.
@@ -183,16 +210,31 @@ pub(crate) fn register_grid(
 ) -> usize {
     let name = kernel.name().to_string();
     let id = engine.grids.len();
+    let depth = match origin {
+        Origin::Host { .. } => 0,
+        Origin::Device { parent, .. } => engine.grids[parent].depth + 1,
+    };
     engine.grids.push(GridTask {
         name: name.clone(),
         cfg,
         origin,
+        depth,
         blocks: Vec::with_capacity(cfg.grid_dim as usize),
         children: Vec::new(),
         kernel: Some(Arc::clone(kernel)),
     });
     if let Origin::Device { parent, .. } = origin {
         engine.grids[parent].children.push(id);
+        if engine.analysis_active() {
+            // Launch-shape analysis: attribute the child to the parent's
+            // class at registration, which both executors reach in the
+            // same canonical order.
+            let Engine {
+                grids, analyzer, ..
+            } = engine;
+            let p = &grids[parent];
+            analyzer.on_launch(&p.name, &p.cfg, &cfg);
+        }
     }
     engine.metrics.entry(name).or_default().grids += 1;
     if matches!(origin, Origin::Host { .. }) {
@@ -218,6 +260,23 @@ pub(crate) fn execute_blocks(engine: &mut Engine, id: usize) {
     let mut class = engine.memo_classes.get(&name).copied().unwrap_or_default();
     let mut window_attempts = 0u32;
     let mut window_hits = 0u32;
+    // npar-analyze per-grid state: probe/candidate collection and the
+    // promoted elision signature snapshot (DESIGN.md §12). `probe_on`
+    // forces fingerprinting for every block so elision decisions and
+    // candidate signatures exist independently of the adaptive memo
+    // policy; `elide_on` alone permits actually skipping scans.
+    let probe_on = engine.probe_active();
+    let elide_on = engine.elide_active();
+    let depth = engine.grids[id].depth;
+    let mut ga = if engine.analysis_active() {
+        Some(
+            engine
+                .analyzer
+                .begin_grid(&name, &cfg, depth, &engine.check),
+        )
+    } else {
+        None
+    };
     // Global-access accumulator for the cross-block race sweep. A local:
     // nested grids executed mid-block (a parent joining children) re-enter
     // this function with their own accumulator on the stack.
@@ -228,7 +287,8 @@ pub(crate) fn execute_blocks(engine: &mut Engine, id: usize) {
     // the floating-point sums land bit-identically in both modes.
     let mut grid_metrics = KernelMetrics::default();
     for b in 0..cfg.grid_dim {
-        let fp_on = memo_enabled && class.fp_on(b);
+        let memo_fp = memo_enabled && class.fp_on(b);
+        let fp_on = memo_fp || probe_on;
         let traces = std::mem::take(&mut engine.trace_pool);
         let fps = std::mem::take(&mut engine.fp_pool);
         let mut blk = BlockCtx::new(
@@ -255,15 +315,40 @@ pub(crate) fn execute_blocks(engine: &mut Engine, id: usize) {
             stats,
             ..
         } = engine;
+        // Proof-carrying elision: a launch-free block whose fingerprint
+        // signature equals the class's promoted probe skips the per-block
+        // scans (the probe already passed them on an identical canonical
+        // trace); its global intervals still feed the cross-block sweep.
+        let elided = elide_on && ga.as_mut().is_some_and(|g| g.try_elide(&fps));
+        let pending0 = check.pending_count();
         // The checker sees the raw traces BEFORE any cache consultation,
         // so Warn/Strict diagnostics are identical with memoization on.
-        let sanitized = check::scan_block(check, &mut traces, &name, id, b, &cfg, &mut gaccess);
+        let sanitized = if elided {
+            check::scan_block_elided(check, &traces, b, &mut gaccess);
+            stats.elided += 1;
+            false
+        } else {
+            check::scan_block(check, &mut traces, &name, id, b, &cfg, &mut gaccess)
+        };
+        if !elided {
+            if let Some(g) = ga.as_mut() {
+                let clean = check.pending_count() == pending0;
+                g.observe_scanned(
+                    &traces,
+                    &cfg,
+                    device,
+                    probe_on.then_some(&fps),
+                    sanitized,
+                    clean,
+                );
+            }
+        }
         stats.ops_traced += traces.iter().map(|t| t.len() as u64).sum::<u64>();
         let h0 = stats.block_hits;
         // Sanitized (divergent-barrier) blocks bypass the cache: their
         // fingerprints describe the pre-sanitization traces. Blocks whose
         // class has fingerprinting off never recorded one at all.
-        let block_memo = if sanitized || !fp_on {
+        let block_memo = if sanitized || !memo_fp {
             None
         } else {
             memo.as_mut().map(|cache| BlockMemo {
@@ -303,6 +388,11 @@ pub(crate) fn execute_blocks(engine: &mut Engine, id: usize) {
         engine.fp_pool = fps;
     }
     check::finish_grid(&mut engine.check, &name, id, gaccess);
+    if let Some(g) = ga.take() {
+        // Promotion happens after the grid's cross-block sweep, so a
+        // global race detected this grid vetoes the candidate.
+        engine.analyzer.finish_grid(&name, &cfg, g, &engine.check);
+    }
     if memo_enabled {
         let entry = engine.memo_classes.entry(name.clone()).or_default();
         entry.window_attempts += window_attempts;

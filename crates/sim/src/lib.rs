@@ -28,12 +28,19 @@
 //!   [`check`]) replays the recorded traces for shared/global data races,
 //!   divergent barriers, out-of-bounds shared accesses and misused dynamic
 //!   parallelism, gated by [`CheckLevel`] on the device config.
+//! * **Static analysis** — **npar-analyze** (see [`analyze`]) distills a
+//!   probe block per kernel class into a structural IR, proves barrier/
+//!   bounds/race cleanliness where it can (letting the checker elide those
+//!   scans, proof-carried), bounds dynamic-parallelism launch shapes, lints
+//!   occupancy, and recommends a parallelization template via
+//!   [`analyze::KernelAnalysis::advise`].
 //!
 //! See `DESIGN.md` at the workspace root for the full substitution argument
 //! and the cost-model calibration policy.
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod block;
 pub mod check;
 pub mod config;
@@ -56,6 +63,7 @@ mod sync;
 mod trace;
 mod warp;
 
+pub use analyze::{Advice, AnalysisReport, Consolidation, KernelAnalysis, Verdict};
 pub use check::{CheckLevel, CheckReport, Hazard, HazardKind};
 pub use config::{CpuConfig, DeviceConfig};
 pub use cost::{CostModel, CpuCostModel, DivergenceModel};

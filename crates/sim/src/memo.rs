@@ -44,6 +44,7 @@
 //! ([`BlockOutcome::timing_uniform_with`]), so a fingerprint collision can
 //! mis-time but can never desynchronize fast and slow paths.
 
+#[allow(clippy::disallowed_types)] // only used to build the fixed-hasher FastMap below
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -278,6 +279,7 @@ impl Hasher for IdentityHasher {
     }
 }
 
+#[allow(clippy::disallowed_types)] // fixed hasher: deterministic, u64 keys
 pub(crate) type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
 
 /// While a kernel class is bypassed, the first `PROBE_BLOCKS` blocks of each

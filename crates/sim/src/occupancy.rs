@@ -20,6 +20,17 @@ pub enum Limiter {
     Registers,
 }
 
+impl std::fmt::Display for Limiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Limiter::Blocks => "blocks",
+            Limiter::Threads => "threads",
+            Limiter::SharedMemory => "shared-memory",
+            Limiter::Registers => "registers",
+        })
+    }
+}
+
 /// Occupancy-calculator output for one block configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Occupancy {

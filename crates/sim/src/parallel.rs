@@ -67,6 +67,7 @@ use crate::profiler::KernelMetrics;
 use crate::trace::Op;
 use crate::warp::AlignScratch;
 
+#[allow(clippy::disallowed_types)] // fixed hasher: membership-only, never iterated
 type FastSet = std::collections::HashSet<u64, BuildHasherDefault<IdentityHasher>>;
 
 /// Deferred blocks per pool lane before a flush (serially traced path). A
@@ -163,7 +164,15 @@ struct Aligned {
 pub(crate) struct ParBlock {
     traces: Vec<Vec<Op>>,
     fps: BlockFps,
+    /// Whether the *memoization policy* wanted fingerprints for this block
+    /// (the cache-probe gate fed to [`decide`]). Fingerprints may also be
+    /// computed solely for npar-analyze (`probe_active`), in which case
+    /// this stays `false` and the cache is never consulted — exactly the
+    /// serial engine's split between `memo_fp` and forced fingerprinting.
     fp_on: bool,
+    /// Whether npar-analyze elided this block's per-block scans
+    /// (par-traced path only; the serially traced path elides inline).
+    elided: bool,
     sanitized: bool,
     ops: u64,
     decision: Decision,
@@ -185,6 +194,7 @@ impl ParBlock {
             traces,
             fps,
             fp_on,
+            elided: false,
             sanitized: false,
             ops: 0,
             decision: Decision::Align {
@@ -612,6 +622,22 @@ fn execute_serial_traced(
     // serial engine's: a cold class demotes mid-grid, so the chunked path
     // fingerprints the same block set the serial path would.
     let mut class = engine.memo_classes.get(&name).copied().unwrap_or_default();
+    // npar-analyze per-grid state (DESIGN.md §12). Tracing, elision
+    // decisions, scans and probe observation all stay on the main thread
+    // in block order here, so the analyzer sees the exact serial call
+    // sequence — elision is thread-count-invariant by construction.
+    let probe_on = engine.probe_active();
+    let elide_on = engine.elide_active();
+    let depth = engine.grids[id].depth;
+    let mut ga = if engine.analysis_active() {
+        Some(
+            engine
+                .analyzer
+                .begin_grid(&name, &cfg, depth, &engine.check),
+        )
+    } else {
+        None
+    };
     engine.chunks.push(ChunkState {
         grid: id,
         pending: FastSet::default(),
@@ -623,7 +649,11 @@ fn execute_serial_traced(
     });
     let chunk_cap = engine.threads * CHUNK_PER_LANE;
     for b in 0..cfg.grid_dim {
-        let fp_on = memo_enabled && class.fp_on(b);
+        let memo_fp = memo_enabled && class.fp_on(b);
+        // Fingerprints are forced whenever npar-analyze probes, even if
+        // the memo policy demoted the class — elision signatures must not
+        // depend on cache policy (or thread count).
+        let fp_on = memo_fp || probe_on;
         let bufs = engine.bufs.take(0);
         let mut blk = BlockCtx::new(
             TraceHost::Serial(engine),
@@ -643,23 +673,46 @@ fn execute_serial_traced(
                 .all(|c| engine.grids[id].children.binary_search(c).is_ok()),
             "pending launches must be registered children"
         );
+        // Proof-carrying elision: same decision and same skipped work as
+        // the serial engine (DESIGN.md §12).
+        let elided = elide_on && ga.as_mut().is_some_and(|g| g.try_elide(&fps));
+        let pending0 = engine.check.pending_count();
         let cs = engine.chunks.last_mut().expect("chunk state pushed above");
-        let sanitized = check::scan_block(
-            &mut engine.check,
-            &mut traces,
-            &name,
-            id,
-            b,
-            &cfg,
-            &mut cs.gaccess,
-        );
+        let sanitized = if elided {
+            check::scan_block_elided(&mut engine.check, &traces, b, &mut cs.gaccess);
+            engine.stats.elided += 1;
+            false
+        } else {
+            check::scan_block(
+                &mut engine.check,
+                &mut traces,
+                &name,
+                id,
+                b,
+                &cfg,
+                &mut cs.gaccess,
+            )
+        };
+        if !elided {
+            if let Some(g) = ga.as_mut() {
+                let clean = engine.check.pending_count() == pending0;
+                g.observe_scanned(
+                    &traces,
+                    &cfg,
+                    &engine.device,
+                    probe_on.then_some(&fps),
+                    sanitized,
+                    clean,
+                );
+            }
+        }
         let ops = traces.iter().map(|t| t.len() as u64).sum();
         let decision = decide(
             engine.memo.as_ref(),
             &mut cs.pending,
             &fps,
             &cfg,
-            fp_on,
+            memo_fp,
             sanitized,
         );
         // A replay decision is exactly a serial block-cache hit and a
@@ -672,7 +725,8 @@ fn execute_serial_traced(
             } => class.probe(false),
             Decision::Align { .. } => {}
         }
-        let mut db = ParBlock::new(traces, fps, fp_on);
+        let mut db = ParBlock::new(traces, fps, memo_fp);
+        db.elided = elided;
         db.sanitized = sanitized;
         db.ops = ops;
         db.decision = decision;
@@ -684,6 +738,11 @@ fn execute_serial_traced(
     flush_top(engine);
     let cs = engine.chunks.pop().expect("chunk state pushed above");
     check::finish_grid(&mut engine.check, &name, id, cs.gaccess);
+    if let Some(g) = ga.take() {
+        // Promotion after the cross-block sweep, exactly like the serial
+        // engine: a global race this grid vetoes the candidate.
+        engine.analyzer.finish_grid(&name, &cfg, g, &engine.check);
+    }
     if memo_enabled {
         let entry = engine.memo_classes.entry(name.clone()).or_default();
         entry.window_attempts += cs.window_attempts;
@@ -715,6 +774,21 @@ fn execute_par_traced(
     // divergence from the serial sequence is host-side only.
     let class = engine.memo_classes.get(&name).copied().unwrap_or_default();
     let level = engine.check.level;
+    // npar-analyze per-grid state (DESIGN.md §12). The promoted elision
+    // signature is snapshotted here and cannot change mid-grid, so the
+    // phase-2.5 decisions below reproduce the serial per-block sequence.
+    let probe_on = engine.probe_active();
+    let elide_on = engine.elide_active();
+    let depth = engine.grids[id].depth;
+    let mut ga = if engine.analysis_active() {
+        Some(
+            engine
+                .analyzer
+                .begin_grid(&name, &cfg, depth, &engine.check),
+        )
+    } else {
+        None
+    };
     let n = cfg.grid_dim as usize;
     let mut slots: Vec<Option<ParBlock>> = (0..n).map(|_| None).collect();
 
@@ -730,7 +804,9 @@ fn execute_par_traced(
                               _w: &mut AlignScratch,
                               i: usize,
                               slot: &mut Option<ParBlock>| {
-            let fp_on = memo_enabled && class.fp_on(i as u32);
+            let memo_fp = memo_enabled && class.fp_on(i as u32);
+            // Forced whenever npar-analyze probes (see the serial path).
+            let fp_on = memo_fp || probe_on;
             let bb = bufs.take(scope.lane());
             let host = TraceHost::Par(ParTrace {
                 device,
@@ -755,7 +831,7 @@ fn execute_par_traced(
             let TraceHost::Par(pt) = host else {
                 unreachable!("par-traced block keeps its par host")
             };
-            let mut pb = ParBlock::new(traces, fps, fp_on);
+            let mut pb = ParBlock::new(traces, fps, memo_fp);
             pb.trace_check = Some(pt.check);
             pb.launches = pt.launches;
             *slot = Some(pb);
@@ -798,7 +874,24 @@ fn execute_par_traced(
         }
     }
 
+    // Phase 2.5: proof-carrying elision decisions, serially in block
+    // order. The promoted signature was snapshotted at `begin_grid` and
+    // promotion only ever happens at grid end, so deciding every block up
+    // front is exactly the serial engine's per-block decision sequence.
+    if elide_on {
+        for slot in slots.iter_mut() {
+            let pb = slot.as_mut().expect("traced");
+            pb.elided = ga.as_mut().is_some_and(|g| g.try_elide(&pb.fps));
+            if pb.elided {
+                engine.stats.elided += 1;
+            }
+        }
+    }
+
     // Phase 3: hazard scan per block, concurrently, into per-block state.
+    // Elided blocks skip the scans the promoted probe already passed; only
+    // their global intervals — input to the never-elided cross-block sweep
+    // — are still collected.
     {
         let Engine { pool, .. } = &*engine;
         let pool = pool.as_ref().expect("pool ensured by run_grid_par");
@@ -810,27 +903,52 @@ fn execute_par_traced(
                              slot: &mut Option<ParBlock>| {
             let pb = slot.as_mut().expect("traced");
             let mut st = CheckState::new(level);
-            let mut ga = GridAccess::default();
-            pb.sanitized = check::scan_block(
-                &mut st,
-                &mut pb.traces,
-                name,
-                id,
-                i as u32,
-                cfg_ref,
-                &mut ga,
-            );
+            let mut gacc = GridAccess::default();
+            if pb.elided {
+                check::scan_block_elided(&mut st, &pb.traces, i as u32, &mut gacc);
+            } else {
+                pb.sanitized = check::scan_block(
+                    &mut st,
+                    &mut pb.traces,
+                    name,
+                    id,
+                    i as u32,
+                    cfg_ref,
+                    &mut gacc,
+                );
+            }
             pb.ops = pb.traces.iter().map(|t| t.len() as u64).sum();
             pb.scan_check = Some(st);
-            pb.gaccess = Some(ga);
+            pb.gaccess = Some(gacc);
         };
         pool.scope(|scope, w| split_tasks(scope, w, 0, &mut slots, &scan_one));
     }
 
-    // Phase 4: serial decide in block order (cache-probe emulation).
+    // Phase 4: serial decide in block order (cache-probe emulation), plus
+    // npar-analyze probe/candidate observation — here because this is the
+    // first serial point where each block's scan outcome is known.
     let mut pending = FastSet::default();
     for slot in slots.iter_mut() {
         let pb = slot.as_mut().expect("traced");
+        if !pb.elided {
+            if let Some(g) = ga.as_mut() {
+                // A fresh per-block state starts empty, so "no pending
+                // detections" is exactly the serial path's pending-count
+                // delta across its scan.
+                let clean = pb
+                    .scan_check
+                    .as_ref()
+                    .is_some_and(|st| st.pending_count() == 0);
+                g.observe_scanned(
+                    &pb.traces,
+                    &cfg,
+                    &engine.device,
+                    probe_on.then_some(&pb.fps),
+                    pb.sanitized,
+                    clean,
+                );
+            }
+        }
         pb.decision = decide(
             engine.memo.as_ref(),
             &mut pending,
@@ -878,6 +996,12 @@ fn execute_par_traced(
         );
     }
     check::finish_grid(&mut engine.check, &name, id, gaccess);
+    if let Some(g) = ga.take() {
+        // All per-block hazard states were absorbed by the merge above, so
+        // the grid-wide cleanliness test sees every detection — promotion
+        // after the cross-block sweep, exactly like the serial engine.
+        engine.analyzer.finish_grid(&name, &cfg, g, &engine.check);
+    }
     if memo_enabled {
         let entry = engine.memo_classes.entry(name.clone()).or_default();
         entry.window_attempts += window_attempts;

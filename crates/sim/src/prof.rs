@@ -22,7 +22,7 @@
 //! event-by-event path, so exported Chrome traces are byte-identical with
 //! fast paths on or off (`tests/sched_differential.rs` pins this too).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
@@ -303,7 +303,7 @@ pub(crate) struct Collector {
     release: Vec<f64>,
     start: Vec<f64>,
     end: Vec<f64>,
-    open: HashMap<(usize, u32), (u32, f64, bool)>,
+    open: BTreeMap<(usize, u32), (u32, f64, bool)>,
     spans: Vec<BlockSpan>,
     flows: Vec<LaunchFlow>,
 }
@@ -314,7 +314,7 @@ impl Collector {
             release: vec![f64::NAN; num_grids],
             start: vec![f64::NAN; num_grids],
             end: vec![f64::NAN; num_grids],
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             spans: Vec::new(),
             flows: Vec::new(),
         }

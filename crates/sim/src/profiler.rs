@@ -214,6 +214,10 @@ pub struct SimStats {
     pub ops_traced: u64,
     /// Ops whose timing was replayed from the cache instead of aligned.
     pub ops_replayed: u64,
+    /// Blocks whose per-block hazard scans npar-analyze statically elided
+    /// (see [`crate::analyze`]). Host-side observational counter: elision
+    /// never changes what the checker reports.
+    pub elided: u64,
 }
 
 impl SimStats {
@@ -227,6 +231,7 @@ impl SimStats {
         self.block_misses += other.block_misses;
         self.ops_traced += other.ops_traced;
         self.ops_replayed += other.ops_replayed;
+        self.elided += other.elided;
     }
 
     /// Share of host wall time spent inside the event-driven timing pass
@@ -272,7 +277,10 @@ pub struct Report {
     pub overflow_launches: u64,
     /// Hazards the checker detected in this batch (including suppressed
     /// ones beyond the recording cap); see [`crate::check`]. Always zero
-    /// at [`crate::check::CheckLevel::Off`].
+    /// at [`crate::check::CheckLevel::Off`]. Independent of static scan
+    /// elision by construction — elision only skips scans a promoted probe
+    /// proved would pass; [`crate::Gpu::take_check_report`] breaks the
+    /// batch down into scanned vs elided blocks for auditing.
     pub hazards: u64,
     /// Host-side simulator statistics (wall time, memo-cache behaviour).
     /// Observational only: everything above is independent of it.
@@ -514,6 +522,7 @@ mod tests {
             block_misses: 2,
             ops_traced: 100,
             ops_replayed: 60,
+            elided: 4,
         };
         let b = a.clone();
         a.merge(&b);

@@ -59,6 +59,7 @@ pub(crate) struct TimingResult {
     pub overflow_launches: u64,
 }
 
+#[allow(clippy::disallowed_methods)] // derived PartialOrd: integer fields, total order
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     /// Grid became schedulable (launch latency elapsed).
@@ -227,6 +228,7 @@ impl CalendarQueue {
     fn resize(&mut self) {
         let nbuckets = self.len.max(16).next_power_of_two().min(1 << 20);
         let mut sample: Vec<f64> = self.entries().map(|e| e.0).take(64).collect();
+        #[allow(clippy::disallowed_methods)] // total_cmp comparator
         sample.sort_unstable_by(f64::total_cmp);
         let spread = match (sample.first(), sample.last()) {
             (Some(a), Some(b)) => b - a,
@@ -256,6 +258,7 @@ impl CalendarQueue {
         }
         // Restore the descending (t, seq) order within each bucket.
         for bucket in &mut self.buckets {
+            #[allow(clippy::disallowed_methods)] // total_cmp comparator
             bucket.sort_unstable_by(|a, b| match b.0.total_cmp(&a.0) {
                 Ordering::Equal => b.1.cmp(&a.1),
                 o => o,
@@ -271,6 +274,7 @@ impl CalendarQueue {
 // Scheduler state
 // ---------------------------------------------------------------------------
 
+#[allow(clippy::disallowed_methods)] // derived PartialOrd: integer fields, total order
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum SKey {
     Host(u32),
@@ -1198,6 +1202,7 @@ mod tests {
             name: "k".into(),
             cfg,
             origin,
+            depth: 0,
             blocks,
             children,
             kernel: None,
@@ -1464,6 +1469,7 @@ mod tests {
                 name: self.name.clone(),
                 cfg: self.cfg,
                 origin: self.origin,
+                depth: self.depth,
                 blocks: self.blocks.clone(),
                 children: self.children.clone(),
                 kernel: None,

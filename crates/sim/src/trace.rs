@@ -68,6 +68,7 @@ impl Op {
 
 /// Alignment groups; the numeric order fixes the deterministic issue order
 /// of divergent groups within one lockstep step.
+#[allow(clippy::disallowed_methods)] // derived PartialOrd: unit variants, total order
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[repr(u8)]
 pub(crate) enum OpGroup {

@@ -76,6 +76,7 @@ fn demo_loop(label: &str, sizes: Vec<usize>) {
             (template, r.seconds)
         })
         .collect();
+    #[allow(clippy::disallowed_methods)] // total_cmp comparator
     times.sort_by(|a, b| a.1.total_cmp(&b.1));
     let rank = times
         .iter()

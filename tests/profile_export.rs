@@ -63,7 +63,7 @@ fn dp_workload_records_parent_links_and_nested_spans() {
 
     // Every block span sits on a valid SM and nests inside its grid's span.
     assert!(!profile.blocks.is_empty());
-    let sms: std::collections::HashSet<u32> = profile.blocks.iter().map(|b| b.sm).collect();
+    let sms: std::collections::BTreeSet<u32> = profile.blocks.iter().map(|b| b.sm).collect();
     assert!(sms.len() > 1, "multi-block run used a single SM");
     for b in &profile.blocks {
         let k = &profile.kernels[b.grid as usize];
