@@ -25,6 +25,14 @@ cargo build --release
 # passes, pinning fast-forward on/off byte-equality at each thread count.
 NPAR_THREADS=1 cargo test -q
 cargo test -q
+# The scheduler-equivalence suite rides again with the timing pass forced
+# parallel (DESIGN.md §13): NPAR_TIMING_THREADS=8 must stay byte-identical
+# to the serial default at 1 and 8 host threads. (The suite's own matrix
+# already pins --timing-threads 1/2/8 per test; these runs additionally
+# flip the *default* every other differential test constructs its Gpus
+# with.)
+NPAR_THREADS=1 NPAR_TIMING_THREADS=8 cargo test -q --test sched_differential
+NPAR_THREADS=8 NPAR_TIMING_THREADS=8 cargo test -q --test sched_differential
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo test -q --doc --workspace
 # Static-analysis gate: no kernel class's verdict may drop from `proven`

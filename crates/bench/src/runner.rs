@@ -2,7 +2,8 @@
 //!
 //! Every experiment binary shares one command-line surface, parsed once by
 //! [`parse`] and cached: `--check[=warn|strict]`, `--no-memo`,
-//! `--fast-forward=on|off`, `--threads N`, `--profile[=<path>]`,
+//! `--fast-forward=on|off`, `--threads N`, `--timing-threads N`,
+//! `--analytic[=off]`, `--profile[=<path>]`,
 //! `--analyze`, `--no-elide`, and `--update-baseline` (acted on by
 //! `simbench` only, accepted everywhere for uniformity). Unknown or
 //! malformed flags print a usage message to stderr and exit nonzero —
@@ -26,6 +27,12 @@ pub struct Args {
     pub fast_forward: bool,
     /// `--threads N` / `--threads=N`.
     pub threads: Option<usize>,
+    /// `--timing-threads N` / `--timing-threads=N`: timing-pass worker
+    /// lanes (DESIGN.md §13); results are bit-identical at any setting.
+    pub timing_threads: Option<usize>,
+    /// `--analytic[=on|off]` (default off): closed-form timing for
+    /// uniform-wave grids when the analytic proof obligations hold.
+    pub analytic: bool,
     /// `--profile[=<path>]`: `Some(None)` for the default per-run path,
     /// `Some(Some(path))` for an explicit one.
     pub profile: Option<Option<String>>,
@@ -47,6 +54,8 @@ impl Default for Args {
             memo: true,
             fast_forward: true,
             threads: None,
+            timing_threads: None,
+            analytic: false,
             profile: None,
             analyze: false,
             elide: true,
@@ -62,6 +71,8 @@ usage: <experiment> [flags]
   --no-memo               disable alignment memoization (differential runs)
   --fast-forward=on|off   toggle the timing-pass fast paths (default on)
   --threads N             host worker threads (default: NPAR_THREADS/cores)
+  --timing-threads N      timing-pass worker lanes (default 1; DESIGN.md \u{a7}13)
+  --analytic[=on|off]     closed-form timing for uniform-wave grids (default off)
   --profile[=<path>]      export npar-prof Chrome traces (see PROFILING.md)
   --analyze               print npar-analyze verdicts and template advice
   --no-elide              disable proof-carrying scan elision (differential)
@@ -81,6 +92,8 @@ pub fn parse(args: &[String]) -> Result<Args, String> {
             "--fast-forward=on" => out.fast_forward = true,
             "--fast-forward=off" => out.fast_forward = false,
             "--profile" => out.profile = Some(None),
+            "--analytic" | "--analytic=on" => out.analytic = true,
+            "--analytic=off" => out.analytic = false,
             "--analyze" => out.analyze = true,
             "--no-elide" => out.elide = false,
             "--update-baseline" => out.update_baseline = true,
@@ -102,6 +115,20 @@ pub fn parse(args: &[String]) -> Result<Args, String> {
                         Ok(n) if n >= 1 => out.threads = Some(n),
                         _ => return Err(format!("invalid --threads value {value:?}")),
                     }
+                } else if arg == "--timing-threads" || arg.starts_with("--timing-threads=") {
+                    let value = match arg.strip_prefix("--timing-threads=") {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "missing value for --timing-threads".to_string())?,
+                    };
+                    match value.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => out.timing_threads = Some(n),
+                        _ => return Err(format!("invalid --timing-threads value {value:?}")),
+                    }
+                } else if let Some(v) = arg.strip_prefix("--analytic=") {
+                    return Err(format!("invalid --analytic value {v:?}"));
                 } else if let Some(v) = arg.strip_prefix("--check=") {
                     return Err(format!("invalid --check level {v:?}"));
                 } else if let Some(v) = arg.strip_prefix("--fast-forward=") {
@@ -167,6 +194,22 @@ pub fn fast_forward_enabled() -> bool {
 /// host wall time.
 pub fn thread_count() -> Option<usize> {
     parsed().threads
+}
+
+/// Timing-pass worker lanes, from `--timing-threads N` /
+/// `--timing-threads=N`; without the flag the simulator default (1,
+/// serial event loop) applies. Reports and profiler timelines are
+/// bit-identical at any setting (see `npar_sim::Gpu::with_timing_threads`
+/// and DESIGN.md §13).
+pub fn timing_thread_count() -> Option<usize> {
+    parsed().timing_threads
+}
+
+/// Whether `--analytic` was passed: the timing pass may then finish
+/// uniform-wave grids in closed form when the analytic proof obligations
+/// hold; bit-identical to event replay whenever it engages.
+pub fn analytic_enabled() -> bool {
+    parsed().analytic
 }
 
 /// Whether `--analyze` was passed: binaries then collect npar-analyze
@@ -258,9 +301,14 @@ pub fn with_check_flag(gpu: Gpu) -> Gpu {
         .with_fast_forward(fast_forward_enabled())
         .with_elide(elide_enabled())
         .with_analyze(analyze_enabled())
+        .with_analytic(analytic_enabled())
         .with_profiler(profiling());
-    match thread_count() {
+    let gpu = match thread_count() {
         Some(n) => gpu.with_threads(n),
+        None => gpu,
+    };
+    match timing_thread_count() {
+        Some(n) => gpu.with_timing_threads(n),
         None => gpu,
     }
 }
@@ -363,6 +411,9 @@ mod tests {
             "--fast-forward=off",
             "--threads",
             "8",
+            "--timing-threads",
+            "4",
+            "--analytic",
             "--profile=out.json",
             "--analyze",
             "--no-elide",
@@ -373,6 +424,8 @@ mod tests {
         assert!(!a.memo);
         assert!(!a.fast_forward);
         assert_eq!(a.threads, Some(8));
+        assert_eq!(a.timing_threads, Some(4));
+        assert!(a.analytic);
         assert_eq!(a.profile, Some(Some("out.json".into())));
         assert!(a.analyze);
         assert!(!a.elide);
@@ -383,6 +436,12 @@ mod tests {
         assert_eq!(a.threads, Some(2));
         assert_eq!(a.profile, Some(None));
         assert!(a.fast_forward);
+
+        let a = p(&["--timing-threads=8", "--analytic=on"]).unwrap();
+        assert_eq!(a.timing_threads, Some(8));
+        assert!(a.analytic);
+        let a = p(&["--analytic=off"]).unwrap();
+        assert!(!a.analytic);
     }
 
     #[test]
@@ -391,6 +450,11 @@ mod tests {
             &["--threads=abc"][..],
             &["--threads", "0"],
             &["--threads"],
+            &["--timing-threads=abc"],
+            &["--timing-threads", "0"],
+            &["--timing-threads"],
+            &["--analytic=maybe"],
+            &["--analytic="],
             &["--check=bogus"],
             &["--fast-forward"],
             &["--fast-forward=maybe"],
@@ -409,6 +473,8 @@ mod tests {
             "--no-memo",
             "--fast-forward",
             "--threads",
+            "--timing-threads",
+            "--analytic",
             "--profile",
             "--analyze",
             "--no-elide",

@@ -85,6 +85,22 @@ pub struct DeviceConfig {
     /// inactive (e.g. with the checker off). Off by default; `--analyze` /
     /// [`crate::Gpu::with_analyze`] enable it. Elision implies analysis.
     pub analyze: bool,
+    /// Worker lanes for the timing pass (DESIGN.md §13). At `1` (the
+    /// default) the event loop runs serially; above `1` independent
+    /// *timing domains* — connected components of the stream/launch
+    /// coupling graph — are simulated on separate calendar queues and
+    /// merged back in the exact serial event order, so reports and
+    /// profiler timelines are bit-identical at any setting.
+    /// `--timing-threads=N` / [`crate::Gpu::with_timing_threads`].
+    pub timing_threads: usize,
+    /// Whether the timing pass may finish a timing-uniform grid in closed
+    /// form — occupancy-limited wave counts and completion times computed
+    /// arithmetically instead of dispatching per-block events — when the
+    /// analytic proof obligations hold (DESIGN.md §13). Bit-identical to
+    /// event replay whenever it engages; falls back to the event path
+    /// otherwise. Off by default; `--analytic` /
+    /// [`crate::Gpu::with_analytic`] enable it.
+    pub analytic: bool,
 }
 
 impl DeviceConfig {
@@ -113,6 +129,8 @@ impl DeviceConfig {
             fast_forward: true,
             elide: true,
             analyze: false,
+            timing_threads: 1,
+            analytic: false,
         }
     }
 
@@ -153,6 +171,8 @@ impl DeviceConfig {
             fast_forward: true,
             elide: true,
             analyze: false,
+            timing_threads: 1,
+            analytic: false,
         }
     }
 

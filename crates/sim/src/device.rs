@@ -10,7 +10,7 @@ use crate::handle::{GBuf, GlobalAllocator};
 use crate::kernel::{KernelRef, LaunchConfig, Stream};
 use crate::prof::{Collector, Profile};
 use crate::profiler::Report;
-use crate::sched::simulate;
+use crate::sched::simulate_full;
 
 /// A simulated GPU.
 ///
@@ -55,6 +55,7 @@ impl Gpu {
     pub fn new(device: DeviceConfig, cost: CostModel) -> Self {
         let mut engine = Engine::new(device, cost);
         engine.threads = default_threads();
+        engine.device.timing_threads = default_timing_threads(engine.device.timing_threads);
         Gpu {
             engine,
             alloc: GlobalAllocator::new(),
@@ -176,6 +177,55 @@ impl Gpu {
     /// Whether the timing-pass fast paths are currently enabled.
     pub fn fast_forward_enabled(&self) -> bool {
         self.engine.device.fast_forward
+    }
+
+    /// Set the timing-pass worker-lane count (see DESIGN.md §13). `1`
+    /// (the default) runs the event loop serially; any higher count
+    /// partitions each batch into independent timing domains simulated on
+    /// separate calendar queues and merged back in exact serial event
+    /// order — reports and profiler timelines are bit-identical at every
+    /// setting (`--timing-threads=N` on the bench binaries). Values are
+    /// clamped to at least 1; the pool is rebuilt lazily.
+    pub fn set_timing_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.engine.device.timing_threads {
+            self.engine.device.timing_threads = threads;
+            self.engine.timing_pool = None;
+        }
+    }
+
+    /// Builder-style [`Gpu::set_timing_threads`].
+    #[must_use]
+    pub fn with_timing_threads(mut self, threads: usize) -> Self {
+        self.set_timing_threads(threads);
+        self
+    }
+
+    /// Current timing-pass worker-lane count.
+    pub fn timing_threads(&self) -> usize {
+        self.engine.device.timing_threads
+    }
+
+    /// Enable or disable the analytic closed-form timing mode (see
+    /// DESIGN.md §13). Off by default. When enabled, the timing pass may
+    /// finish a timing-uniform grid by wave arithmetic instead of event
+    /// dispatch whenever the analytic proof obligations hold; results are
+    /// bit-identical to event replay whenever it engages (`--analytic` on
+    /// the bench binaries, `--analytic=off` to disable).
+    pub fn set_analytic(&mut self, enabled: bool) {
+        self.engine.device.analytic = enabled;
+    }
+
+    /// Builder-style [`Gpu::set_analytic`].
+    #[must_use]
+    pub fn with_analytic(mut self, enabled: bool) -> Self {
+        self.set_analytic(enabled);
+        self
+    }
+
+    /// Whether the analytic timing mode is enabled.
+    pub fn analytic_enabled(&self) -> bool {
+        self.engine.device.analytic
     }
 
     /// Enable or disable proof-carrying scan elision (see
@@ -356,13 +406,19 @@ impl Gpu {
             .profiling
             .then(|| Collector::new(self.engine.grids.len()));
         let t_sched = std::time::Instant::now();
-        let timing = simulate(
+        self.engine.ensure_timing_pool();
+        let (timing, sched_stats) = simulate_full(
             &self.engine.grids,
             &self.engine.device,
             &self.engine.cost,
             prof.as_mut(),
+            self.engine.timing_pool.as_ref(),
         );
         self.engine.stats.timing_pass_ns += t_sched.elapsed().as_nanos() as u64;
+        self.engine.stats.timing_domains += sched_stats.domains;
+        self.engine.stats.timing_domains_committed += sched_stats.domains_committed;
+        self.engine.stats.timing_rollbacks += sched_stats.domains_rolled_back;
+        self.engine.stats.analytic_grids += sched_stats.analytic_runs;
         if let Some(col) = prof {
             col.finish(
                 &self.engine.grids,
@@ -411,6 +467,22 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Default timing-pass lane count: `NPAR_TIMING_THREADS` when set to a
+/// positive integer, otherwise the [`DeviceConfig`] value (1 = the serial
+/// event loop). Unlike host tracing threads, the timing pass does not
+/// default to the core count — domain parallelism only pays off on
+/// multi-stream batches, so it is opt-in (DESIGN.md §13).
+fn default_timing_threads(fallback: usize) -> usize {
+    if let Ok(v) = std::env::var("NPAR_TIMING_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    fallback
 }
 
 #[cfg(test)]

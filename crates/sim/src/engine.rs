@@ -90,6 +90,11 @@ pub(crate) struct Engine {
     /// Lazily-built work-stealing pool with `threads` lanes; dropped and
     /// rebuilt when the thread count changes.
     pub pool: Option<npar_par::Pool<AlignScratch>>,
+    /// Separate pool for the timing pass (`device.timing_threads` lanes,
+    /// no per-lane scratch): timing-domain runs are pure simulation and
+    /// their lane count is tuned independently of block execution
+    /// (DESIGN.md §13).
+    pub timing_pool: Option<npar_par::Pool<()>>,
     /// Sharded recycled block buffers for the parallel path (the parallel
     /// counterpart of `trace_pool`/`fp_pool`).
     pub bufs: BufPool,
@@ -128,6 +133,7 @@ impl Engine {
             profile: crate::prof::Profile::default(),
             threads: 1,
             pool: None,
+            timing_pool: None,
             bufs: BufPool::default(),
             chunks: Vec::new(),
             memo_classes: BTreeMap::new(),
@@ -168,6 +174,20 @@ impl Engine {
             }));
         }
         self.pool.as_ref().expect("pool just built")
+    }
+
+    /// Lazily build the timing-pass pool, or `None` while
+    /// `timing_threads <= 1` (the partitioned pass then runs its domains
+    /// on the calling thread — same results, no workers).
+    pub(crate) fn ensure_timing_pool(&mut self) -> Option<&npar_par::Pool<()>> {
+        let lanes = self.device.timing_threads;
+        if lanes <= 1 {
+            return None;
+        }
+        if self.timing_pool.as_ref().is_none_or(|p| p.lanes() != lanes) {
+            self.timing_pool = Some(npar_par::Pool::new(lanes, |_| ()));
+        }
+        self.timing_pool.as_ref()
     }
 }
 

@@ -44,6 +44,34 @@ pub struct Occupancy {
     pub limiter: Limiter,
 }
 
+/// Per-SM block-residency limit for one configuration: the `min` over the
+/// four hardware limits, exactly the ceiling the scheduler's placement
+/// scan can reach by repeated `block_fits`. Shared by [`occupancy`] and
+/// the timing pass's analytic mode, whose span-bound proof obligation
+/// needs the worst-case residency a dispatch can observe (DESIGN.md §13).
+/// No block-size assertion: scheduler-internal callers pass
+/// configurations that already passed launch validation.
+pub(crate) fn block_residency_limit(
+    device: &DeviceConfig,
+    block_dim: u32,
+    shared_mem_bytes: u32,
+) -> u32 {
+    let warps_per_block = block_dim.div_ceil(device.warp_size).max(1);
+    let by_blocks = device.max_blocks_per_sm;
+    let by_threads = (device.max_threads_per_sm / block_dim.max(1))
+        .min(device.max_warps_per_sm / warps_per_block);
+    let by_smem = device
+        .shared_mem_per_sm
+        .checked_div(shared_mem_bytes)
+        .unwrap_or(u32::MAX);
+    let regs_per_block = block_dim * device.registers_per_thread;
+    let by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    by_blocks.min(by_threads).min(by_smem).min(by_regs)
+}
+
 /// Compute theoretical occupancy for `block_dim`-thread blocks using
 /// `shared_mem_bytes` of shared memory per block.
 pub fn occupancy(device: &DeviceConfig, block_dim: u32, shared_mem_bytes: u32) -> Occupancy {
@@ -56,13 +84,8 @@ pub fn occupancy(device: &DeviceConfig, block_dim: u32, shared_mem_bytes: u32) -
         .shared_mem_per_sm
         .checked_div(shared_mem_bytes)
         .unwrap_or(u32::MAX);
-    let regs_per_block = block_dim * device.registers_per_thread;
-    let by_regs = device
-        .registers_per_sm
-        .checked_div(regs_per_block)
-        .unwrap_or(u32::MAX);
 
-    let blocks = by_blocks.min(by_threads).min(by_smem).min(by_regs);
+    let blocks = block_residency_limit(device, block_dim, shared_mem_bytes);
     let limiter = if blocks == by_blocks {
         Limiter::Blocks
     } else if blocks == by_threads {

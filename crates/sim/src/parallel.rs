@@ -295,7 +295,7 @@ impl WarpMemoView for WorkerMemo<'_> {
 /// the right half as a stealable task. Workers that pick up a task split
 /// again — nested submission from worker lanes — so the fan-out
 /// self-balances regardless of which lanes are busy.
-fn split_tasks<'env, W, T, F>(
+pub(crate) fn split_tasks<'env, W, T, F>(
     scope: &npar_par::Scope<'env, W>,
     w: &mut W,
     base: usize,

@@ -363,6 +363,38 @@ impl Collector {
         });
     }
 
+    /// Splice another collector's recordings into this one. Used by the
+    /// domain-parallel timing pass (DESIGN.md §13), which records one
+    /// collector per timing domain and concatenates them in domain commit
+    /// order: per-grid release/start/end merge by presence (each grid
+    /// belongs to exactly one domain), spans and flows append in call
+    /// order. With domains strictly disjoint in simulated time the
+    /// concatenation is exactly the serial collector's call order, so the
+    /// merged profile is byte-identical to a single-threaded run.
+    pub(crate) fn absorb(&mut self, other: Collector) {
+        debug_assert!(
+            other.open.is_empty(),
+            "absorbing a collector with open block spans"
+        );
+        for (dst, src) in self.release.iter_mut().zip(&other.release) {
+            if !src.is_nan() {
+                *dst = *src;
+            }
+        }
+        for (dst, src) in self.start.iter_mut().zip(&other.start) {
+            if !src.is_nan() {
+                *dst = *src;
+            }
+        }
+        for (dst, src) in self.end.iter_mut().zip(&other.end) {
+            if !src.is_nan() {
+                *dst = *src;
+            }
+        }
+        self.spans.extend(other.spans);
+        self.flows.extend(other.flows);
+    }
+
     /// Fold this batch into `out`: rebase times by `offset` cycles, shift
     /// grid ids past the profile's existing grids, resolve child start
     /// times and memo flags.

@@ -218,6 +218,17 @@ pub struct SimStats {
     /// (see [`crate::analyze`]). Host-side observational counter: elision
     /// never changes what the checker reports.
     pub elided: u64,
+    /// Timing domains discovered by the partitioned timing pass
+    /// (DESIGN.md §13); zero while `timing_threads` is 1 or a batch is
+    /// too small to partition.
+    pub timing_domains: u64,
+    /// Timing domains whose optimistic parallel runs were committed.
+    pub timing_domains_committed: u64,
+    /// Timing domains replayed serially after a time-window conflict.
+    pub timing_rollbacks: u64,
+    /// Grids the analytic mode finished in closed form (see
+    /// [`crate::Gpu::set_analytic`]).
+    pub analytic_grids: u64,
 }
 
 impl SimStats {
@@ -232,6 +243,10 @@ impl SimStats {
         self.ops_traced += other.ops_traced;
         self.ops_replayed += other.ops_replayed;
         self.elided += other.elided;
+        self.timing_domains += other.timing_domains;
+        self.timing_domains_committed += other.timing_domains_committed;
+        self.timing_rollbacks += other.timing_rollbacks;
+        self.analytic_grids += other.analytic_grids;
     }
 
     /// Share of host wall time spent inside the event-driven timing pass
@@ -523,6 +538,10 @@ mod tests {
             ops_traced: 100,
             ops_replayed: 60,
             elided: 4,
+            timing_domains: 5,
+            timing_domains_committed: 4,
+            timing_rollbacks: 1,
+            analytic_grids: 2,
         };
         let b = a.clone();
         a.merge(&b);

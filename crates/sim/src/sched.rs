@@ -38,6 +38,7 @@ use std::collections::VecDeque;
 use crate::config::DeviceConfig;
 use crate::cost::CostModel;
 use crate::engine::{GridTask, Origin};
+use crate::occupancy;
 use crate::prof::Collector;
 
 /// Hardware work-queue window: how many grids the dispatcher considers
@@ -57,6 +58,23 @@ pub(crate) struct TimingResult {
     pub achieved_occupancy: f64,
     /// Device launches serviced in the slow virtualized-pool regime.
     pub overflow_launches: u64,
+}
+
+/// Diagnostics of one timing pass, surfaced as
+/// [`crate::profiler::SimStats`] counters. Deliberately *not* part of
+/// [`TimingResult`]: the differential suites compare results across thread
+/// counts and modes, while these counters describe which machinery ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SchedStats {
+    /// Timing domains discovered by the partitioner (0 when the pass ran
+    /// serially without partitioning).
+    pub domains: u64,
+    /// Domains whose optimistic parallel runs were committed as-is.
+    pub domains_committed: u64,
+    /// Domains replayed serially after a time-window conflict.
+    pub domains_rolled_back: u64,
+    /// Grids completed in closed form by the analytic mode.
+    pub analytic_runs: u64,
 }
 
 #[allow(clippy::disallowed_methods)] // derived PartialOrd: integer fields, total order
@@ -186,6 +204,14 @@ impl CalendarQueue {
         if self.len == 0 {
             return None;
         }
+        if self.buckets.len() > 16 && self.len < self.buckets.len() / 8 {
+            // Occupancy collapsed (e.g. after a launch storm drained): give
+            // the year back and re-estimate the day width from the
+            // survivors, or pops degrade to long empty-day scans. The 8x
+            // under-occupancy trigger against the 4x grow trigger leaves
+            // hysteresis, so grow/shrink cannot thrash.
+            self.rebuild(self.len.max(16).next_power_of_two());
+        }
         let years = self.buckets.len() as u64;
         for day in self.day..=self.day + years {
             let b = (day as usize) & self.mask;
@@ -226,7 +252,14 @@ impl CalendarQueue {
     /// sample of queued events, then redistribute. Order is untouched:
     /// membership of a day is always recomputed from `(t, width)`.
     fn resize(&mut self) {
-        let nbuckets = self.len.max(16).next_power_of_two().min(1 << 20);
+        self.rebuild(self.len.max(16).next_power_of_two().min(1 << 20));
+    }
+
+    /// Rebuild the ring at `nbuckets` days (grow or shrink), re-estimating
+    /// the day width from the spacing of a sample of the queued events.
+    /// Pure geometry: pop order is unaffected, which
+    /// `calendar_pop_order_survives_grow_shrink_cycle` pins.
+    fn rebuild(&mut self, nbuckets: usize) {
         let mut sample: Vec<f64> = self.entries().map(|e| e.0).take(64).collect();
         #[allow(clippy::disallowed_methods)] // total_cmp comparator
         sample.sort_unstable_by(f64::total_cmp);
@@ -311,6 +344,12 @@ struct BlockRt {
     /// Current (or, when swapped, next) segment index.
     seg: usize,
     sm: usize,
+    /// Cycle this residency began (dispatch or swap-restore). The warp
+    /// integral accrues per block at vacate — `warps * (now - occupy_t)` —
+    /// rather than per event, so each term is independent of interleaved
+    /// events and the domain-parallel merge can refold the terms in serial
+    /// order (DESIGN.md §13).
+    occupy_t: f64,
     unfinished_children: u32,
 }
 
@@ -356,7 +395,6 @@ struct Sim<'a> {
     /// Precomputed per-grid placement footprints.
     need: Vec<Need>,
     sms: Vec<Sm>,
-    resident_warps: u64,
     /// Grids with blocks still to dispatch, in activation order.
     admit_queue: Vec<usize>,
     /// Swapped-out blocks whose children completed, awaiting re-admission.
@@ -383,6 +421,18 @@ struct Sim<'a> {
     /// ([`DeviceConfig::fast_forward`]). The calendar queue and the
     /// `try_admit` scan memos are exact containers/caches and stay on.
     fast: bool,
+    /// Whether the closed-form analytic mode may finish uniform grids
+    /// ([`DeviceConfig::analytic`], DESIGN.md §13).
+    analytic: bool,
+    /// Timing-domain membership filter: `(rank, lo, hi)` restricts this
+    /// run to grids whose domain rank is in `lo..hi` — only their host
+    /// releases are seeded, so execution never leaves the window. `None`
+    /// simulates the whole batch.
+    filter: Option<(&'a [u32], u32, u32)>,
+    /// Per-block warp-integral terms in vacate order, recorded only for
+    /// filtered (domain) runs; the merge refolds them across domains in
+    /// serial event order so the sum is bit-identical to a serial run.
+    integral_terms: Vec<f64>,
     /// Cohort being accumulated; flushed before any other push or pop so
     /// member sequence numbers stay consecutive.
     pending: Option<PendingCohort>,
@@ -403,6 +453,9 @@ struct Sim<'a> {
     scanned_epoch: u64,
     /// Reusable fast-forward wheel buffer.
     wheel: Vec<(f64, u64, WheelEv)>,
+    /// Reusable analytic-mode drain buffer (raw queue entries, so a failed
+    /// wave-synchrony check can restore the queue untouched).
+    wheel_raw: Vec<(f64, u64, Ev)>,
     /// Reusable `try_admit` scratch (failed placement signatures).
     scratch_failed: Vec<(u32, u32)>,
     /// Reusable `try_admit` scratch (exhausted window slots).
@@ -412,36 +465,302 @@ struct Sim<'a> {
     /// condition quietly never held).
     stat_wheel_runs: u64,
     stat_cohort_fanouts: u64,
+    stat_analytic_runs: u64,
 }
 
 /// Simulate the timing of a batch of executed grids, optionally recording
-/// the timeline into a profiler [`Collector`].
-pub(crate) fn simulate(
+/// the timeline into a profiler [`Collector`]. Honors
+/// [`DeviceConfig::timing_threads`] by partitioning into timing domains,
+/// but runs them on the calling thread; [`simulate_full`] additionally
+/// takes the worker pool and returns the pass diagnostics. (Test-only
+/// convenience since the engine switched to `simulate_full`.)
+#[cfg(test)]
+fn simulate(
     grids: &[GridTask],
     device: &DeviceConfig,
     cost: &CostModel,
     prof: Option<&mut Collector>,
 ) -> TimingResult {
-    if grids.is_empty() {
-        return TimingResult {
-            makespan: 0.0,
-            achieved_occupancy: 0.0,
-            overflow_launches: 0,
-        };
-    }
-    let mut sim = Sim::new(grids, device, cost, prof);
-    sim.run();
+    simulate_full(grids, device, cost, prof, None).0
+}
+
+fn to_result(
+    makespan: f64,
+    warp_integral: f64,
+    overflow_launches: u64,
+    device: &DeviceConfig,
+) -> TimingResult {
     let capacity = f64::from(device.num_sms) * f64::from(device.max_warps_per_sm);
-    let occ = if sim.makespan > 0.0 {
-        sim.warp_integral / (sim.makespan * capacity)
+    let occ = if makespan > 0.0 {
+        warp_integral / (makespan * capacity)
     } else {
         0.0
     };
     TimingResult {
-        makespan: sim.makespan,
+        makespan,
         achieved_occupancy: occ,
-        overflow_launches: sim.overflow_launches,
+        overflow_launches,
     }
+}
+
+/// Everything the deterministic merge needs from one timing-domain run.
+struct DomainOut {
+    makespan: f64,
+    overflow: u64,
+    terms: Vec<f64>,
+    collector: Option<Collector>,
+    analytic_runs: u64,
+}
+
+/// Run the grids whose domain rank falls in `lo..hi` as one isolated
+/// simulation (own calendar queue, own collector).
+fn run_domain(
+    grids: &[GridTask],
+    device: &DeviceConfig,
+    cost: &CostModel,
+    want_prof: bool,
+    rank: &[u32],
+    lo: u32,
+    hi: u32,
+) -> DomainOut {
+    let mut col = want_prof.then(|| Collector::new(grids.len()));
+    let mut sim = Sim::new_filtered(grids, device, cost, col.as_mut(), Some((rank, lo, hi)));
+    sim.run();
+    let makespan = sim.makespan;
+    let overflow = sim.overflow_launches;
+    let terms = std::mem::take(&mut sim.integral_terms);
+    let analytic_runs = sim.stat_analytic_runs;
+    drop(sim);
+    DomainOut {
+        makespan,
+        overflow,
+        terms,
+        collector: col,
+        analytic_runs,
+    }
+}
+
+/// Partition grids into *timing domains*: connected components of the
+/// coupling graph whose edges are same-stream membership and parent→child
+/// launches. Grids in different domains share no ordering constraint —
+/// only device resources, which the optimistic commit check in
+/// [`simulate_full`] covers. Returns each grid's domain rank (domains
+/// numbered in ascending order of their earliest host release — host
+/// launch seqs are unique, so the order is total), the domain count, and
+/// each rank's earliest release time.
+fn domain_ranks(grids: &[GridTask], cost: &CostModel) -> (Vec<u32>, usize, Vec<f64>) {
+    fn find(uf: &mut [u32], mut x: u32) -> u32 {
+        while uf[x as usize] != x {
+            uf[x as usize] = uf[uf[x as usize] as usize];
+            x = uf[x as usize];
+        }
+        x
+    }
+    let n = grids.len();
+    let mut uf: Vec<u32> = (0..n as u32).collect();
+    let union = |uf: &mut Vec<u32>, a: u32, b: u32| {
+        let (ra, rb) = (find(uf, a), find(uf, b));
+        if ra != rb {
+            uf[ra as usize] = rb;
+        }
+    };
+    // Stream edges: grids in one stream serialize, so they couple.
+    let mut keyed: Vec<(SKey, u32)> = Vec::with_capacity(n);
+    for (g, task) in grids.iter().enumerate() {
+        let key = match task.origin {
+            Origin::Host { stream, .. } => SKey::Host(stream),
+            Origin::Device {
+                parent,
+                block,
+                stream_slot,
+            } => SKey::Dev {
+                parent,
+                block,
+                slot: stream_slot,
+            },
+        };
+        keyed.push((key, g as u32));
+    }
+    keyed.sort_unstable();
+    for pair in keyed.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            union(&mut uf, pair[0].1, pair[1].1);
+        }
+    }
+    // Launch-DAG edges: a child grid couples to its launching parent.
+    for (g, task) in grids.iter().enumerate() {
+        if let Origin::Device { parent, .. } = task.origin {
+            union(&mut uf, g as u32, parent as u32);
+        }
+    }
+    let root_of: Vec<u32> = (0..n as u32).map(|g| find(&mut uf, g)).collect();
+    // Earliest host launch seq per component. Every component has one:
+    // device-launched grids chain up to a host launch through the DAG
+    // edges.
+    let mut min_seq: Vec<u32> = vec![u32::MAX; n];
+    for (g, task) in grids.iter().enumerate() {
+        if let Origin::Host { seq, .. } = task.origin {
+            let r = root_of[g] as usize;
+            min_seq[r] = min_seq[r].min(seq);
+        }
+    }
+    let mut roots: Vec<(u32, u32)> = Vec::new();
+    for g in 0..n {
+        if root_of[g] as usize == g {
+            debug_assert!(
+                min_seq[g] != u32::MAX,
+                "timing domain without a host launch"
+            );
+            roots.push((min_seq[g], g as u32));
+        }
+    }
+    roots.sort_unstable();
+    let mut rank_of_root: Vec<u32> = vec![0; n];
+    let mut first_release: Vec<f64> = Vec::with_capacity(roots.len());
+    for (i, &(ms, r)) in roots.iter().enumerate() {
+        rank_of_root[r as usize] = i as u32;
+        // Same arithmetic as the host-release seeding in `Sim::new`, so
+        // this is bitwise the domain's first event time.
+        first_release.push(f64::from(ms + 1) * cost.host_launch_cycles);
+    }
+    let rank: Vec<u32> = root_of.iter().map(|&r| rank_of_root[r as usize]).collect();
+    (rank, roots.len(), first_release)
+}
+
+/// The full timing pass (DESIGN.md §13): partition the batch into timing
+/// domains, simulate each on its own calendar queue (on `pool` when
+/// given), and deterministically merge. Commit is *optimistic with a
+/// rollback horizon*: domains are considered in first-release order and
+/// committed while each one's event window starts strictly after every
+/// committed window has ended — strictly, because equal-time events
+/// across domains have no defined seq order. The first conflict rolls the
+/// entire suffix back into one serial replay from that horizon, which is
+/// exact because the suffix's earliest event provably postdates every
+/// committed event. The merge replays completions in the exact
+/// `(total_cmp, seq)` order the serial queue would have produced, so
+/// reports and profiler timelines are byte-identical at any
+/// `timing_threads` setting.
+pub(crate) fn simulate_full(
+    grids: &[GridTask],
+    device: &DeviceConfig,
+    cost: &CostModel,
+    mut prof: Option<&mut Collector>,
+    pool: Option<&npar_par::Pool<()>>,
+) -> (TimingResult, SchedStats) {
+    let mut stats = SchedStats::default();
+    if grids.is_empty() {
+        return (to_result(0.0, 0.0, 0, device), stats);
+    }
+    if device.timing_threads <= 1 || grids.len() < 2 {
+        let mut sim = Sim::new(grids, device, cost, prof);
+        sim.run();
+        stats.analytic_runs = sim.stat_analytic_runs;
+        return (
+            to_result(
+                sim.makespan,
+                sim.warp_integral,
+                sim.overflow_launches,
+                device,
+            ),
+            stats,
+        );
+    }
+    let (rank, ndom, first_release) = domain_ranks(grids, cost);
+    stats.domains = ndom as u64;
+    if ndom <= 1 {
+        let mut sim = Sim::new(grids, device, cost, prof);
+        sim.run();
+        stats.analytic_runs = sim.stat_analytic_runs;
+        return (
+            to_result(
+                sim.makespan,
+                sim.warp_integral,
+                sim.overflow_launches,
+                device,
+            ),
+            stats,
+        );
+    }
+    let want_prof = prof.is_some();
+    let mut slots: Vec<(u32, Option<DomainOut>)> = (0..ndom as u32).map(|i| (i, None)).collect();
+    let run_one = |_s: &npar_par::Scope<'_, ()>,
+                   _w: &mut (),
+                   _i: usize,
+                   slot: &mut (u32, Option<DomainOut>)| {
+        let i = slot.0;
+        slot.1 = Some(run_domain(grids, device, cost, want_prof, &rank, i, i + 1));
+    };
+    match pool {
+        Some(p) => {
+            p.scope(|scope, w| crate::parallel::split_tasks(scope, w, 0, &mut slots, &run_one));
+        }
+        None => {
+            let scope_less = |slot: &mut (u32, Option<DomainOut>)| {
+                let i = slot.0;
+                slot.1 = Some(run_domain(grids, device, cost, want_prof, &rank, i, i + 1));
+            };
+            slots.iter_mut().for_each(scope_less);
+        }
+    }
+    let outs: Vec<DomainOut> = slots
+        .into_iter()
+        .map(|(_, o)| o.expect("domain run missing"))
+        .collect();
+    // Optimistic time-window commit (see the doc comment above). A split
+    // at `k` is valid iff domain `k`'s first release lands strictly after
+    // every committed makespan — the same check that admitted each prefix
+    // domain, so the chain both proves the prefix pairwise disjoint and
+    // the suffix safely separable. On the first violation the violating
+    // domain overlaps the *last committed* window, so that domain rolls
+    // back into the suffix too and the split moves one left, where the
+    // check is known to hold.
+    let mut committed = 0usize;
+    let mut end = f64::NEG_INFINITY;
+    while committed < ndom {
+        if first_release[committed] > end {
+            end = end.max(outs[committed].makespan);
+            committed += 1;
+        } else {
+            committed = committed.saturating_sub(1);
+            break;
+        }
+    }
+    stats.domains_committed = committed as u64;
+    let mut merged: Vec<DomainOut> = outs.into_iter().take(committed).collect();
+    if committed < ndom {
+        stats.domains_rolled_back = (ndom - committed) as u64;
+        merged.push(run_domain(
+            grids,
+            device,
+            cost,
+            want_prof,
+            &rank,
+            committed as u32,
+            ndom as u32,
+        ));
+    }
+    // Deterministic merge in domain order: committed windows are pairwise
+    // disjoint in simulated time, so concatenation *is* the serial event
+    // order. The warp-integral terms refold in that order (bitwise the
+    // serial sum), makespan is an order-insensitive max, and the profiler
+    // collectors splice span-for-span.
+    let mut makespan = 0.0f64;
+    let mut warp_integral = 0.0f64;
+    let mut overflow = 0u64;
+    for out in merged {
+        makespan = makespan.max(out.makespan);
+        for &term in &out.terms {
+            warp_integral += term;
+        }
+        overflow += out.overflow;
+        stats.analytic_runs += out.analytic_runs;
+        if let Some(col) = out.collector {
+            if let Some(p) = prof.as_deref_mut() {
+                p.absorb(col);
+            }
+        }
+    }
+    (to_result(makespan, warp_integral, overflow, device), stats)
 }
 
 impl<'a> Sim<'a> {
@@ -450,6 +769,16 @@ impl<'a> Sim<'a> {
         device: &'a DeviceConfig,
         cost: &'a CostModel,
         prof: Option<&'a mut Collector>,
+    ) -> Self {
+        Self::new_filtered(grids, device, cost, prof, None)
+    }
+
+    fn new_filtered(
+        grids: &'a [GridTask],
+        device: &'a DeviceConfig,
+        cost: &'a CostModel,
+        prof: Option<&'a mut Collector>,
+        filter: Option<(&'a [u32], u32, u32)>,
     ) -> Self {
         // Stream membership, resolved to dense ids up front: grids sorted
         // by (stream key, launch order) group each stream contiguously, so
@@ -497,6 +826,7 @@ impl<'a> Sim<'a> {
                 state: BState::NotStarted,
                 seg: 0,
                 sm: usize::MAX,
+                occupy_t: 0.0,
                 unfinished_children: 0,
             };
             total_blocks as usize
@@ -535,7 +865,6 @@ impl<'a> Sim<'a> {
             boff,
             need,
             sms: vec![sm; device.num_sms as usize],
-            resident_warps: 0,
             admit_queue: Vec::new(),
             resume_queue: VecDeque::new(),
             stream_items,
@@ -549,6 +878,9 @@ impl<'a> Sim<'a> {
             overflow_launches: 0,
             prof,
             fast: device.fast_forward,
+            analytic: device.analytic,
+            filter,
+            integral_terms: Vec::new(),
             pending: None,
             release_entries: 0,
             segdone_entries: vec![0; grids.len()],
@@ -556,20 +888,38 @@ impl<'a> Sim<'a> {
             fit_epoch: 0,
             scanned_epoch: u64::MAX,
             wheel: Vec::new(),
+            wheel_raw: Vec::new(),
             scratch_failed: Vec::new(),
             scratch_exhausted: Vec::new(),
             stat_wheel_runs: 0,
             stat_cohort_fanouts: 0,
+            stat_analytic_runs: 0,
         };
         // Host launches serialize on the host thread: the i-th host launch
-        // becomes schedulable after i+1 launch overheads.
+        // becomes schedulable after i+1 launch overheads. A domain filter
+        // seeds only member releases — the absolute times are unchanged
+        // (the host seq spacing already accounts for the other domains'
+        // launches), so a filtered run is the serial run with non-member
+        // events deleted, which touches nothing a member observes.
         for (g, task) in grids.iter().enumerate() {
+            if !sim.is_member(g) {
+                continue;
+            }
             if let Origin::Host { seq, .. } = task.origin {
                 let t = f64::from(seq + 1) * cost.host_launch_cycles;
                 sim.push(t, Ev::Release(g));
             }
         }
         sim
+    }
+
+    /// Whether grid `g` belongs to this run's timing-domain window.
+    #[inline]
+    fn is_member(&self, g: usize) -> bool {
+        match self.filter {
+            None => true,
+            Some((rank, lo, hi)) => (lo..hi).contains(&rank[g]),
+        }
     }
 
     /// Push an event, first flushing any pending cohort so that cohort
@@ -643,7 +993,6 @@ impl<'a> Sim<'a> {
                 break;
             };
             debug_assert!(t >= self.now - 1e-9);
-            self.warp_integral += self.resident_warps as f64 * (t - self.now);
             self.now = t;
             self.makespan = self.makespan.max(t);
             let hint = match ev {
@@ -686,12 +1035,12 @@ impl<'a> Sim<'a> {
                     Some(g)
                 }
             };
-            if self.fast {
+            if self.fast || self.analytic {
                 self.maybe_fast_forward(hint);
             }
         }
         debug_assert!(
-            self.grt.iter().all(|g| g.done),
+            (0..self.grt.len()).all(|g| self.grt[g].done || !self.is_member(g)),
             "scheduler finished with unfinished grids (deadlock?)"
         );
     }
@@ -710,7 +1059,7 @@ impl<'a> Sim<'a> {
                     p.on_block_end(g, b, self.now);
                 }
                 let sm = self.blk(g, b).sm;
-                self.vacate(sm, g);
+                self.vacate(sm, g, b);
                 self.blk_mut(g, b).state = BState::Done;
             }
             self.grt[g].blocks_left -= n as usize;
@@ -771,10 +1120,14 @@ impl<'a> Sim<'a> {
         s.free_warps -= need.warps;
         s.free_smem -= need.smem;
         s.free_regs -= need.regs;
-        self.resident_warps += u64::from(need.warps);
     }
 
-    fn vacate(&mut self, sm: usize, g: usize) {
+    /// Release block `b`'s SM resources and accrue its warp-integral term
+    /// `warps * (now - occupy_t)` — the per-block formulation of the
+    /// time-averaged occupancy numerator, recorded per residency interval
+    /// so the domain-parallel merge can refold the terms in serial event
+    /// order (DESIGN.md §13).
+    fn vacate(&mut self, sm: usize, g: usize, b: u32) {
         let need = self.need[g];
         let s = &mut self.sms[sm];
         s.free_blocks += 1;
@@ -782,7 +1135,11 @@ impl<'a> Sim<'a> {
         s.free_warps += need.warps;
         s.free_smem += need.smem;
         s.free_regs += need.regs;
-        self.resident_warps -= u64::from(need.warps);
+        let term = f64::from(need.warps) * (self.now - self.blk(g, b).occupy_t);
+        self.warp_integral += term;
+        if self.filter.is_some() {
+            self.integral_terms.push(term);
+        }
         self.fit_epoch += 1;
     }
 
@@ -820,7 +1177,12 @@ impl<'a> Sim<'a> {
                 if let Some(sm) = self.pick_sm(g) {
                     self.resume_queue.remove(i);
                     self.occupy(sm, g);
-                    self.blk_mut(g, b).sm = sm;
+                    let now = self.now;
+                    {
+                        let rt = self.blk_mut(g, b);
+                        rt.sm = sm;
+                        rt.occupy_t = now;
+                    }
                     let seg = self.blk(g, b).seg;
                     if let Some(p) = self.prof.as_deref_mut() {
                         p.on_block_start(g, b, sm, self.now, true);
@@ -851,9 +1213,11 @@ impl<'a> Sim<'a> {
                     let b = self.grt[g].next_block as u32;
                     self.grt[g].next_block += 1;
                     self.occupy(sm, g);
+                    let now = self.now;
                     let rt = self.blk_mut(g, b);
                     rt.state = BState::Running;
                     rt.sm = sm;
+                    rt.occupy_t = now;
                     if let Some(p) = self.prof.as_deref_mut() {
                         if b == 0 {
                             p.on_grid_start(g, self.now);
@@ -930,7 +1294,7 @@ impl<'a> Sim<'a> {
                 if let Some(p) = self.prof.as_deref_mut() {
                     p.on_block_end(g, b, self.now);
                 }
-                self.vacate(sm, g);
+                self.vacate(sm, g, b);
                 let rt = self.blk_mut(g, b);
                 rt.state = BState::Swapped;
                 rt.seg = next;
@@ -944,7 +1308,7 @@ impl<'a> Sim<'a> {
             if let Some(p) = self.prof.as_deref_mut() {
                 p.on_block_end(g, b, self.now);
             }
-            self.vacate(sm, g);
+            self.vacate(sm, g, b);
             self.blk_mut(g, b).state = BState::Done;
             self.grt[g].blocks_left -= 1;
             self.check_grid_done(g);
@@ -1056,7 +1420,183 @@ impl<'a> Sim<'a> {
                 }
             }
         }
-        self.fast_forward(g);
+        if self.analytic && self.try_analytic(g) {
+            return;
+        }
+        if self.fast {
+            self.fast_forward(g);
+        }
+    }
+
+    /// Closed-form analytic completion of the sole runnable grid `g`
+    /// (DESIGN.md §13). Entry shares `maybe_fast_forward`'s preconditions;
+    /// on top of those, three proof obligations decide whether the closed
+    /// form is *exact*:
+    ///
+    /// 1. **Span-bound at depth**: at the deepest residency any SM can
+    ///    reach for this configuration (the occupancy-calculator block
+    ///    ceiling), the rate model still satisfies `work / rate <= span`,
+    ///    so every remaining segment duration is bitwise `span` no matter
+    ///    how blocks are placed.
+    /// 2. **Replacement locality**: while undispatched blocks remain, no
+    ///    SM currently fits one — each teardown's replacement can then
+    ///    only land on the SM just vacated, so placement is forced and
+    ///    `pick_sm` is deterministic per member.
+    /// 3. **Wave synchrony**: every queued completion of `g` carries one
+    ///    bitwise-identical time — the remaining schedule is a sequence of
+    ///    aligned waves spaced exactly `span` apart.
+    ///
+    /// Under 1–3 event dispatch is redundant: each wave's completions pop
+    /// in member seq order, replacements inherit the vacated SMs, and the
+    /// next wave ends at `t + span` — which is exactly what this replay
+    /// performs, wave by wave, with the slow path's per-member operations
+    /// (profiler spans, seq assignment, teardown order) but no queue
+    /// traffic. Returns `false` without observable effect when any
+    /// obligation fails, falling back to the wheel or the event loop.
+    fn try_analytic(&mut self, g: usize) -> bool {
+        let total = self.grids[g].blocks.len();
+        let need = self.need[g];
+        let b0 = &self.grids[g].blocks[0];
+        let (span, work, w) = (
+            b0.segments[0].span,
+            b0.segments[0].work,
+            f64::from(b0.warps),
+        );
+        let iw = self.device.issue_width();
+        // Obligation 1: span-bound at the deepest reachable residency.
+        let cap_blocks = occupancy::block_residency_limit(self.device, need.threads, need.smem);
+        let cap = cap_blocks
+            .saturating_mul(need.warps)
+            .min(self.device.max_warps_per_sm)
+            .max(1);
+        let rate_full = (iw * w / f64::from(cap)).min(w);
+        // NaN fails closed: `!(x <= span)` rejects an unrepresentable
+        // ratio, which the sign-flipped `x > span` would silently accept.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(work / rate_full <= span) {
+            return false;
+        }
+        // Obligation 2: replacement placement is forced-local. (try_admit
+        // ran before this, so a fitting SM with blocks left should be
+        // impossible; checked anyway since the proof leans on it.)
+        if self.grt[g].next_block < total && self.pick_sm(g).is_some() {
+            return false;
+        }
+        // Obligation 3: the queued completions form one synchronized wave.
+        let mut raw = std::mem::take(&mut self.wheel_raw);
+        raw.clear();
+        while let Some(e) = self.queue.pop() {
+            raw.push(e);
+        }
+        let mut t0 = f64::NAN;
+        let mut sync = true;
+        for &(t, _, ev) in &raw {
+            if !matches!(ev, Ev::Release(_)) {
+                if t0.is_nan() {
+                    t0 = t;
+                } else if t.to_bits() != t0.to_bits() {
+                    sync = false;
+                    break;
+                }
+            }
+        }
+        if !sync {
+            // Restore the queue untouched; original seqs keep the order.
+            for &(t, s, ev) in &raw {
+                self.queue.push(t, s, ev);
+            }
+            self.wheel_raw = raw;
+            return false;
+        }
+        self.stat_analytic_runs += 1;
+        self.release_entries = 0;
+        self.segdone_entries[g] = 0;
+        // Pop order within the wave is seq order; inert releases are
+        // separated out and handled against the finish point below.
+        let mut cur: Vec<(u64, u32)> = Vec::new();
+        let mut rels: Vec<(f64, u64, usize)> = Vec::new();
+        for &(t, seq, ev) in &raw {
+            match ev {
+                Ev::Release(r) => rels.push((t, seq, r)),
+                Ev::SegDone(gg, b) => {
+                    debug_assert_eq!(gg, g);
+                    cur.push((seq, b));
+                }
+                Ev::SegDoneN(gg, first, n) => {
+                    debug_assert_eq!(gg, g);
+                    for i in 0..n {
+                        cur.push((seq + u64::from(i), first + i));
+                    }
+                }
+            }
+        }
+        raw.clear();
+        self.wheel_raw = raw;
+        debug_assert!(!cur.is_empty());
+        let mut t = t0;
+        let mut last_seq = 0u64;
+        let mut next: Vec<(u64, u32)> = Vec::new();
+        loop {
+            self.now = t;
+            self.makespan = self.makespan.max(t);
+            for &(seq, b) in &cur {
+                last_seq = seq;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_block_end(g, b, t);
+                }
+                let sm = self.blk(g, b).sm;
+                self.vacate(sm, g, b);
+                self.blk_mut(g, b).state = BState::Done;
+                self.grt[g].blocks_left -= 1;
+                // Forced-local replacement dispatch (obligation 2): the
+                // slow path's try_admit restricted to window [g].
+                while self.grt[g].next_block < total {
+                    let Some(sm2) = self.pick_sm(g) else { break };
+                    let nb = self.grt[g].next_block as u32;
+                    self.grt[g].next_block += 1;
+                    self.occupy(sm2, g);
+                    let rt = self.blk_mut(g, nb);
+                    rt.state = BState::Running;
+                    rt.sm = sm2;
+                    rt.occupy_t = t;
+                    if let Some(p) = self.prof.as_deref_mut() {
+                        p.on_block_start(g, nb, sm2, t, false);
+                    }
+                    // Duration is bitwise `span` (obligation 1), so the
+                    // member joins the next wave; seq assigned exactly as
+                    // the slow path's push would have.
+                    self.seq += 1;
+                    next.push((self.seq, nb));
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            next.clear();
+            if cur.is_empty() {
+                break;
+            }
+            t += span;
+        }
+        // Inert releases that would have popped before the grid's final
+        // completion `(t, last_seq)` are serviced inline (released flag +
+        // profiler timestamp — both order-insensitive); later ones go back
+        // on the queue for the main loop, original seqs intact.
+        for &(rt_, rs, r) in &rels {
+            if lex_lt(rt_, rs, t, last_seq) {
+                self.grt[r].released = true;
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.on_release(r, rt_);
+                }
+            } else {
+                self.release_entries += 1;
+                self.queue.push(rt_, rs, Ev::Release(r));
+            }
+        }
+        // Mirror the slow path's teardown tail at the completion time.
+        self.admit_queue.clear();
+        self.scanned_epoch = u64::MAX;
+        self.check_grid_done(g);
+        self.try_admit();
+        true
     }
 
     /// Play the remaining events of the only runnable grid `g` on a sorted
@@ -1101,7 +1641,6 @@ impl<'a> Sim<'a> {
         while head < wheel.len() {
             let (t, _, ev) = wheel[head];
             head += 1;
-            self.warp_integral += self.resident_warps as f64 * (t - self.now);
             self.now = t;
             self.makespan = self.makespan.max(t);
             match ev {
@@ -1119,7 +1658,7 @@ impl<'a> Sim<'a> {
                         p.on_block_end(g, b, t);
                     }
                     let sm = self.blk(g, b).sm;
-                    self.vacate(sm, g);
+                    self.vacate(sm, g, b);
                     self.blk_mut(g, b).state = BState::Done;
                     self.grt[g].blocks_left -= 1;
                     // Replacement dispatch — the slow path's try_admit
@@ -1132,6 +1671,7 @@ impl<'a> Sim<'a> {
                         let rt = self.blk_mut(g, nb);
                         rt.state = BState::Running;
                         rt.sm = sm2;
+                        rt.occupy_t = t;
                         if let Some(p) = self.prof.as_deref_mut() {
                             p.on_block_start(g, nb, sm2, t, false);
                         }
@@ -1979,5 +2519,299 @@ mod tests {
             let (t, cs, _) = cal.pop().unwrap();
             assert_eq!((t, cs), (1234.5, s));
         }
+    }
+
+    #[test]
+    fn calendar_pop_order_survives_grow_shrink_cycle() {
+        use rand::{Rng, SeedableRng};
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut cal = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(TimeKey, u64, Ev)>> = BinaryHeap::new();
+        // Storm: force several 4x-occupancy grows.
+        for s in 1..=20_000u64 {
+            let t = f64::from(rng.gen_range(0u32..500_000));
+            cal.push(t, s, Ev::Release(0));
+            heap.push(Reverse((TimeKey(t), s, Ev::Release(0))));
+        }
+        let grown = cal.buckets.len();
+        assert!(grown > 16, "storm never grew the ring");
+        // Drain below the 1/8 occupancy floor: the ring must give days
+        // back, and pop order must stay the exact (total_cmp, seq) merge
+        // throughout the grow→shrink cycle.
+        let mut popped = 0usize;
+        while let Some(Reverse((TimeKey(t), s, ev))) = heap.pop() {
+            let (ct, cs, cev) = cal.pop().expect("calendar drained early");
+            assert_eq!((t.to_bits(), s, ev), (ct.to_bits(), cs, cev));
+            popped += 1;
+            if popped == 19_990 {
+                assert!(
+                    cal.buckets.len() < grown,
+                    "ring still {} buckets with {} events left",
+                    cal.buckets.len(),
+                    cal.len()
+                );
+            }
+        }
+        assert!(cal.pop().is_none());
+    }
+
+    // -- timing domains and analytic mode --------------------------------
+
+    /// Run a batch serially and with domain partitioning (no pool — the
+    /// sequential domain path is bitwise the threaded one) and require
+    /// identical results and profiles; returns the partitioned pass stats.
+    fn assert_domains_exact(threads: usize, build: impl Fn() -> Vec<GridTask>) -> SchedStats {
+        let run = |tt: usize| {
+            let mut d = DeviceConfig::tiny();
+            d.timing_threads = tt;
+            let c = CostModel::default();
+            let grids = build();
+            let mut col = Collector::new(grids.len());
+            let (r, s) = simulate_full(&grids, &d, &c, Some(&mut col), None);
+            let mut p = Profile::default();
+            col.finish(&grids, &d, &mut p);
+            (r, s, p)
+        };
+        let (r1, _, p1) = run(1);
+        let (rn, stats, pn) = run(threads);
+        assert_eq!(r1, rn, "timing diverges across timing_threads");
+        assert_eq!(p1, pn, "profile diverges across timing_threads");
+        stats
+    }
+
+    #[test]
+    fn disjoint_streams_commit_as_parallel_domains() {
+        // Four single-block streams with tiny spans: each domain's window
+        // ends long before the next host release (3500 cycles apart), so
+        // every domain commits optimistically.
+        let stats = assert_domains_exact(4, || {
+            (0..4u32)
+                .map(|i| {
+                    grid(
+                        Origin::Host { seq: i, stream: i },
+                        LaunchConfig::new(1, 32),
+                        vec![block(1, vec![seg(100.0, 40.0)])],
+                        vec![],
+                    )
+                })
+                .collect()
+        });
+        assert_eq!(stats.domains, 4);
+        assert_eq!(stats.domains_committed, 4);
+        assert_eq!(stats.domains_rolled_back, 0);
+    }
+
+    #[test]
+    fn overlapping_streams_roll_back_to_serial() {
+        // Long-running streams whose windows overlap: the optimistic runs
+        // cannot commit and the whole batch replays serially — results
+        // must still be bitwise those of the serial pass.
+        let stats = assert_domains_exact(4, || {
+            (0..4u32)
+                .map(|i| {
+                    grid(
+                        Origin::Host { seq: i, stream: i },
+                        LaunchConfig::new(1, 32),
+                        vec![block(1, vec![seg(100_000.0, 40.0)])],
+                        vec![],
+                    )
+                })
+                .collect()
+        });
+        assert_eq!(stats.domains, 4);
+        assert_eq!(stats.domains_committed, 0);
+        assert_eq!(stats.domains_rolled_back, 4);
+    }
+
+    #[test]
+    fn mixed_windows_commit_prefix_and_roll_back_suffix() {
+        // Stream 0 is short (commits), streams 1-2 overlap each other.
+        // The violating domain must also pull its committed neighbor back
+        // into the serial suffix (the split moves one left).
+        let stats = assert_domains_exact(4, || {
+            let mk = |i: u32, span: f64| {
+                grid(
+                    Origin::Host { seq: i, stream: i },
+                    LaunchConfig::new(1, 32),
+                    vec![block(1, vec![seg(span, 40.0)])],
+                    vec![],
+                )
+            };
+            vec![mk(0, 100.0), mk(1, 100_000.0), mk(2, 100_000.0)]
+        });
+        assert_eq!(stats.domains, 3);
+        assert_eq!(stats.domains_committed, 1);
+        assert_eq!(stats.domains_rolled_back, 2);
+    }
+
+    #[test]
+    fn device_children_join_their_parent_domain() {
+        // A parent with device children in one stream plus an unrelated
+        // stream: the launch DAG must glue parent+child into one domain.
+        let stats = assert_domains_exact(2, || {
+            let parent = grid(
+                Origin::Host { seq: 0, stream: 0 },
+                LaunchConfig::new(1, 32),
+                vec![block(
+                    1,
+                    vec![
+                        SegmentTask {
+                            span: 50.0,
+                            work: 20.0,
+                            wait_children: false,
+                            launches: vec![(2, 10.0)],
+                        },
+                        SegmentTask {
+                            span: 30.0,
+                            work: 10.0,
+                            wait_children: true,
+                            launches: vec![],
+                        },
+                    ],
+                )],
+                vec![2],
+            );
+            let other = grid(
+                Origin::Host { seq: 1, stream: 9 },
+                LaunchConfig::new(1, 32),
+                vec![block(1, vec![seg(60.0, 20.0)])],
+                vec![],
+            );
+            let child = grid(
+                Origin::Device {
+                    parent: 0,
+                    block: 0,
+                    stream_slot: 0,
+                },
+                LaunchConfig::new(2, 32),
+                (0..2).map(|_| block(1, vec![seg(40.0, 10.0)])).collect(),
+                vec![],
+            );
+            vec![parent, other, child]
+        });
+        assert_eq!(stats.domains, 2, "parent+child must share a domain");
+    }
+
+    /// Run a batch with the analytic mode off and on (fast paths in the
+    /// given state, collector attached) and require bitwise-identical
+    /// timing and profiler output; returns the analytic-run count.
+    fn assert_analytic_exact(fast: bool, build: impl Fn() -> Vec<GridTask>) -> u64 {
+        let run = |analytic: bool| {
+            let mut d = DeviceConfig::tiny();
+            d.fast_forward = fast;
+            d.analytic = analytic;
+            let c = CostModel::default();
+            let grids = build();
+            let mut col = Collector::new(grids.len());
+            let (r, s) = simulate_full(&grids, &d, &c, Some(&mut col), None);
+            let mut p = Profile::default();
+            col.finish(&grids, &d, &mut p);
+            (r, s, p)
+        };
+        let (r_off, _, p_off) = run(false);
+        let (r_on, stats, p_on) = run(true);
+        assert_eq!(
+            r_on, r_off,
+            "timing diverges between analytic and event mode"
+        );
+        assert_eq!(
+            p_on, p_off,
+            "profile diverges between analytic and event mode"
+        );
+        stats.analytic_runs
+    }
+
+    /// Span-bound uniform batch: 48 single-warp blocks on tiny (8 resident
+    /// across 2 SMs) is 6 waves; work 40 at the 4-blocks-per-SM residency
+    /// ceiling needs 80 cycles < the 100-cycle span, so every duration is
+    /// bitwise the span and the analytic obligations hold.
+    fn span_bound_batch() -> Vec<GridTask> {
+        let bl: Vec<BlockOutcome> = (0..48).map(|_| block(1, vec![seg(100.0, 40.0)])).collect();
+        vec![grid(host(0), LaunchConfig::new(48, 32), bl, vec![])]
+    }
+
+    #[test]
+    fn analytic_matches_event_mode_on_uniform_waves() {
+        for fast in [false, true] {
+            let runs = assert_analytic_exact(fast, span_bound_batch);
+            assert!(runs > 0, "analytic mode never engaged (fast={fast})");
+        }
+    }
+
+    #[test]
+    fn analytic_falls_back_on_work_bound_grids() {
+        // work 400 at depth needs 800 cycles > the 100-cycle span:
+        // durations depend on residency, obligation 1 fails, and the event
+        // path must run — with identical results either way.
+        for fast in [false, true] {
+            let runs = assert_analytic_exact(fast, || {
+                let bl: Vec<BlockOutcome> =
+                    (0..48).map(|_| block(1, vec![seg(100.0, 400.0)])).collect();
+                vec![grid(host(0), LaunchConfig::new(48, 32), bl, vec![])]
+            });
+            assert_eq!(runs, 0, "work-bound grid must not run analytically");
+        }
+    }
+
+    #[test]
+    fn analytic_handles_queued_releases_and_streams() {
+        // Span-bound grid plus later same-stream and other-stream grids:
+        // inert releases sit in the queue across the analytic replay and
+        // stream handoff happens at the analytic finish time.
+        for fast in [false, true] {
+            let runs = assert_analytic_exact(fast, || {
+                let bl: Vec<BlockOutcome> =
+                    (0..48).map(|_| block(1, vec![seg(100.0, 40.0)])).collect();
+                vec![
+                    grid(host(0), LaunchConfig::new(48, 32), bl.clone(), vec![]),
+                    grid(host(1), LaunchConfig::new(48, 32), bl.clone(), vec![]),
+                    grid(
+                        Origin::Host { seq: 2, stream: 1 },
+                        LaunchConfig::new(48, 32),
+                        bl,
+                        vec![],
+                    ),
+                ]
+            });
+            assert!(runs > 0, "analytic mode never engaged (fast={fast})");
+        }
+    }
+
+    #[test]
+    fn analytic_composes_with_timing_domains() {
+        // Domain-partitioned pass with analytic mode on in every domain
+        // run: still bitwise the plain serial event pass.
+        let run = |tt: usize, analytic: bool| {
+            let mut d = DeviceConfig::tiny();
+            d.timing_threads = tt;
+            d.analytic = analytic;
+            let c = CostModel::default();
+            let grids: Vec<GridTask> = (0..3u32)
+                .map(|i| {
+                    let bl: Vec<BlockOutcome> =
+                        (0..16).map(|_| block(1, vec![seg(100.0, 40.0)])).collect();
+                    grid(
+                        Origin::Host { seq: i, stream: i },
+                        LaunchConfig::new(16, 32),
+                        bl,
+                        vec![],
+                    )
+                })
+                .collect();
+            let mut col = Collector::new(grids.len());
+            let (r, s) = simulate_full(&grids, &d, &c, Some(&mut col), None);
+            let mut p = Profile::default();
+            col.finish(&grids, &d, &mut p);
+            (r, s, p)
+        };
+        let (r_serial, _, p_serial) = run(1, false);
+        let (r_both, stats, p_both) = run(4, true);
+        assert_eq!(r_serial, r_both);
+        assert_eq!(p_serial, p_both);
+        assert!(stats.domains_committed > 0);
+        assert!(stats.analytic_runs > 0);
     }
 }

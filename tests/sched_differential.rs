@@ -1,9 +1,11 @@
-//! Differential tests for the timing-pass fast paths (DESIGN.md §11):
-//! cohort event batching and homogeneous-grid fast-forward are pure
-//! host-side speedups, so every profiler-visible number — and the exported
-//! Chrome trace, byte for byte — must be identical with the fast paths on
-//! and off, across every template, the sorts, the apps, multi-stream
-//! HyperQ batches, both memo modes, 1 and 8 host threads, and strict
+//! Differential tests for the timing-pass fast paths (DESIGN.md §11)
+//! and the parallel timing pass (DESIGN.md §13): cohort event batching,
+//! homogeneous-grid fast-forward, timing-domain parallelism, and the
+//! analytic closed form are pure host-side speedups, so every
+//! profiler-visible number — and the exported Chrome trace, byte for
+//! byte — must be identical with each of them on and off, across every
+//! template, the sorts, the apps, multi-stream HyperQ batches, both memo
+//! modes, 1/2/8 timing-pass lanes, 1 and 8 host threads, and strict
 //! checking. Only [`SimStats`] (wall time, counters) may differ.
 
 use std::sync::Arc;
@@ -188,6 +190,207 @@ fn hyperq_streams_are_ff_invariant() {
     assert_ff_invariant_default("saxpy/hyperq", CheckLevel::Off, |gpu| {
         launch_saxpy_streams(gpu, 8, 4)
     });
+}
+
+/// Run the same workload with `timing_threads` lanes and with the serial
+/// timing pass, and require bit-identical reports (modulo host-side
+/// [`SimStats`]) and byte-identical Chrome traces. Returns the parallel
+/// run's stats so callers can assert the domain machinery engaged.
+fn assert_tt_invariant(
+    label: &str,
+    mk: impl Fn() -> Gpu,
+    run: impl Fn(&mut Gpu) -> Report,
+) -> SimStats {
+    // Pin the baseline to the serial pass explicitly — CI re-runs this
+    // suite under NPAR_TIMING_THREADS=8, which changes the default.
+    let mut serial = mk().with_profiler(true).with_timing_threads(1);
+    assert_eq!(
+        serial.timing_threads(),
+        1,
+        "{label}: baseline must be serial"
+    );
+    let mut r_serial = run(&mut serial);
+    let t_serial = serial.take_profile().to_chrome_trace();
+    r_serial.sim = SimStats::default();
+    let mut last = SimStats::default();
+    for tt in [2usize, 8] {
+        let mut par = mk().with_profiler(true).with_timing_threads(tt);
+        assert_eq!(par.timing_threads(), tt);
+        let mut r_par = run(&mut par);
+        last = r_par.sim;
+        r_par.sim = SimStats::default();
+        assert_eq!(
+            r_par, r_serial,
+            "{label}: report differs at timing-threads={tt}"
+        );
+        let t_par = par.take_profile().to_chrome_trace();
+        assert_eq!(
+            t_par, t_serial,
+            "{label}: Chrome trace differs at timing-threads={tt}"
+        );
+    }
+    last
+}
+
+/// The full cross product the determinism contract promises: timing
+/// lanes x fast-forward x memo over a multi-stream HyperQ batch whose
+/// long kernels overlap in time, so every parallel run partitions into
+/// several domains and rolls them back to the serial suffix. The merge
+/// must still be bitwise.
+#[test]
+fn timing_threads_matrix_is_invariant() {
+    for memo in [true, false] {
+        for ffwd in [true, false] {
+            let label = format!("saxpy/hyperq memo={memo} ffwd={ffwd}");
+            let stats = assert_tt_invariant(
+                &label,
+                || Gpu::k20().with_memo(memo).with_fast_forward(ffwd),
+                |gpu| launch_saxpy_streams(gpu, 8, 4),
+            );
+            assert!(
+                stats.timing_domains >= 2,
+                "{label}: expected multiple timing domains, got {stats:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn timing_threads_are_invariant_under_strict_checking() {
+    assert_tt_invariant(
+        "saxpy/hyperq strict",
+        || Gpu::k20().with_check(CheckLevel::Strict),
+        |gpu| launch_saxpy_streams(gpu, 8, 4),
+    );
+}
+
+#[test]
+fn timing_threads_are_invariant_on_irregular_apps() {
+    let g = with_random_weights(&citeseer_like(600, 7), 10, 12);
+    assert_tt_invariant("sssp/dpar-opt", Gpu::k20, |gpu| {
+        sssp::sssp_gpu(
+            gpu,
+            &g,
+            0,
+            LoopTemplate::DparOpt,
+            &LoopParams::with_lb_thres(32),
+        )
+        .report
+    });
+}
+
+/// A single-warp compute-only kernel: every warp trace is identical, so
+/// span == work bitwise per block, and a full-SM shared-memory
+/// reservation pins residency to one block per SM. That satisfies the
+/// analytic proof obligations (span-bound, local replacement, wave
+/// synchrony) on the tiny device.
+struct UniformCompute {
+    cycles: u32,
+}
+
+impl ThreadKernel for UniformCompute {
+    fn name(&self) -> &str {
+        "uniform-compute"
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        t.compute(self.cycles);
+    }
+}
+
+fn launch_uniform(gpu: &mut Gpu, blocks: u32, streams: u32, cycles: u32) -> Report {
+    let k = Arc::new(UniformCompute { cycles });
+    let smem = gpu.device().shared_mem_per_block;
+    for s in 0..streams {
+        gpu.launch_in(
+            k.clone(),
+            LaunchConfig::with_shared(blocks, 32, smem),
+            Stream::Slot(s),
+        )
+        .unwrap();
+    }
+    gpu.synchronize()
+}
+
+/// Short kernels on separate streams finish inside the host launch
+/// cadence, so their time windows are disjoint and the optimistic commit
+/// keeps every domain — the parallel path, not the rollback fallback.
+#[test]
+fn disjoint_stream_windows_commit_and_stay_invariant() {
+    let stats = assert_tt_invariant("uniform/disjoint", Gpu::tiny, |gpu| {
+        launch_uniform(gpu, 2, 4, 8)
+    });
+    assert!(
+        stats.timing_domains >= 2 && stats.timing_domains_committed >= 2,
+        "expected committed parallel domains, got {stats:?}"
+    );
+}
+
+/// Analytic closed form vs full event replay: bit-identical reports and
+/// traces, and the analytic path must actually engage on the span-bound
+/// uniform waves (one resident single-warp block per SM).
+#[test]
+fn analytic_mode_matches_event_replay_and_engages() {
+    let run = |gpu: &mut Gpu| launch_uniform(gpu, 6, 1, 16);
+    let mut event = Gpu::tiny().with_profiler(true);
+    let mut closed = Gpu::tiny().with_profiler(true).with_analytic(true);
+    assert!(!event.analytic_enabled() && closed.analytic_enabled());
+    let mut r_event = run(&mut event);
+    let mut r_closed = run(&mut closed);
+    assert_eq!(r_event.sim.analytic_grids, 0);
+    assert!(
+        r_closed.sim.analytic_grids > 0,
+        "analytic mode never engaged: {:?}",
+        r_closed.sim
+    );
+    r_event.sim = SimStats::default();
+    r_closed.sim = SimStats::default();
+    assert_eq!(r_event, r_closed, "analytic report differs from event mode");
+    assert_eq!(
+        event.take_profile().to_chrome_trace(),
+        closed.take_profile().to_chrome_trace(),
+        "analytic Chrome trace differs from event mode"
+    );
+}
+
+/// Analytic mode composed with timing domains and both fast-forward
+/// settings on real apps: it must silently fall back wherever the proof
+/// obligations fail, never perturbing a single byte.
+#[test]
+fn analytic_mode_is_invariant_on_irregular_apps() {
+    let input: Vec<u32> = (0..900u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % 512)
+        .collect();
+    for ffwd in [true, false] {
+        let label = format!("quick-adv analytic ffwd={ffwd}");
+        let mk = |analytic: bool| {
+            Gpu::k20()
+                .with_profiler(true)
+                .with_fast_forward(ffwd)
+                .with_analytic(analytic)
+                .with_timing_threads(if analytic { 4 } else { 1 })
+        };
+        let run = |gpu: &mut Gpu| {
+            sort::sort_gpu(
+                gpu,
+                &input,
+                sort::SortAlgo::QuickAdvanced,
+                &sort::SortParams::default(),
+            )
+            .report
+        };
+        let mut plain = mk(false);
+        let mut fancy = mk(true);
+        let mut r_plain = run(&mut plain);
+        let mut r_fancy = run(&mut fancy);
+        r_plain.sim = SimStats::default();
+        r_fancy.sim = SimStats::default();
+        assert_eq!(r_plain, r_fancy, "{label}: report differs");
+        assert_eq!(
+            plain.take_profile().to_chrome_trace(),
+            fancy.take_profile().to_chrome_trace(),
+            "{label}: Chrome trace differs"
+        );
+    }
 }
 
 #[test]
