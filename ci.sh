@@ -1,14 +1,13 @@
 #!/usr/bin/env bash
-# Repository CI gate: formatting, lints, build, tests, and the simulator
-# throughput benchmark. simbench fails on a >2x throughput regression, a
+# Repository CI gate: formatting, lints, build, tests, docs freshness, and
+# the benchmark gates. simbench fails on a >2x throughput regression, a
 # timing-pass fast-path gain dropping below 0.7x of the stored ratio, or
 # the heterogeneous (divergent) workload paying >3% wall for the fast
 # paths — all against the checked-in crates/bench/BENCH_sim_baseline.json
-# (refresh with
-#   # Static-analysis gate: no kernel class's verdict may drop from `proven`
-# (crates/bench/ANALYZE_baseline.json; refresh with --update-baseline).
-cargo run --release -p npar-bench --bin analyze_all
-cargo run --release -p npar-bench --bin simbench -- --update-baseline).
+# (refresh with --update-baseline). loadtest gates the serving layer the
+# same way against crates/bench/BENCH_serve_baseline.json, plus its
+# structural gates: dup-heavy replay >= 3x cold throughput, warm-restart
+# cache-hit rate >= 90%, and byte-identical reports across cache paths.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -35,7 +34,13 @@ NPAR_THREADS=1 NPAR_TIMING_THREADS=8 cargo test -q --test sched_differential
 NPAR_THREADS=8 NPAR_TIMING_THREADS=8 cargo test -q --test sched_differential
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo test -q --doc --workspace
+# Docs freshness: every flag runner::parse accepts must have a row in
+# README.md's flags table (fails naming the missing flag).
+cargo run --release -p npar-bench --bin docs_check
 # Static-analysis gate: no kernel class's verdict may drop from `proven`
 # (crates/bench/ANALYZE_baseline.json; refresh with --update-baseline).
 cargo run --release -p npar-bench --bin analyze_all
 cargo run --release -p npar-bench --bin simbench
+# Serving gate: loadtest replays the mixed workload cold / dup-heavy /
+# warm-restarted (SERVING.md) and fails on any structural or baseline gate.
+cargo run --release -p npar-bench --bin loadtest

@@ -1,0 +1,47 @@
+//! Docs-freshness gate: every flag the shared parser accepts must be
+//! documented in README.md's flags table.
+//!
+//! [`runner::KNOWN_FLAGS`] is the contract: `runner::parse` and the table
+//! drift independently, and a flag shipped without a row is how operator
+//! docs rot. CI runs this binary (see ci.sh); it exits nonzero naming the
+//! first missing flag. The runner's own unit tests close the other half of
+//! the loop — every `KNOWN_FLAGS` entry must appear in `runner::USAGE` too.
+
+use npar_bench::runner;
+
+fn main() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("read README.md");
+
+    // The flags table: markdown rows whose first cell is a backticked flag.
+    let rows: Vec<&str> = readme
+        .lines()
+        .filter(|l| l.trim_start().starts_with("| `--"))
+        .collect();
+    if rows.is_empty() {
+        eprintln!("DOCS: README.md has no flags table (rows starting with \"| `--\")");
+        std::process::exit(1);
+    }
+
+    let mut missing = Vec::new();
+    for flag in runner::KNOWN_FLAGS {
+        // Match on the opening backtick so `--threads` cannot piggyback on
+        // the `--timing-threads` row.
+        let documented = rows.iter().any(|row| row.contains(&format!("`{flag}")));
+        if !documented {
+            missing.push(*flag);
+        }
+    }
+    if let Some(first) = missing.first() {
+        eprintln!(
+            "DOCS: flag {first} is accepted by runner::parse but missing from the README.md \
+             flags table (all missing: {})",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "docs_check: all {} flags documented in README.md",
+        runner::KNOWN_FLAGS.len()
+    );
+}

@@ -1,0 +1,446 @@
+//! Serving load test: replay a heavy mixed workload against `npar-serve`
+//! and gate the cache architecture in CI (SERVING.md walks through a run).
+//!
+//! The mix covers the four traffic profiles the service exists for: regular
+//! waves (memo-friendly), divergent DP storms (`divergent` + `dp-storm`,
+//! cache-hostile plus device-side launches), a HyperQ-style stream storm,
+//! and Monte-Carlo replication batches. Four phases:
+//!
+//! 1. **cold** — every unique request once, nothing cached; each job is
+//!    simulated fresh. This produces the reference report bytes.
+//! 2. **dup-heavy** — the same uniques replayed `DUP`x each, interleaved,
+//!    plus a small novel slice submitted in rapid triplicate so in-flight
+//!    dedupe (not just the result cache) shows up in the stats.
+//! 3. **spill** — `Service::join` writes the persistent cache.
+//! 4. **warm** — a fresh service boots from the spill and replays every
+//!    unique request; all must answer from the restored cache.
+//!
+//! Hard structural gates (always on, baseline-independent):
+//! - dup-heavy throughput >= 3x cold throughput (the dedupe/cache payoff),
+//! - warm cache-hit rate >= 90%,
+//! - every warm and dup response byte-identical to its cold reference,
+//! - no shed/timeout/failure anywhere in the run.
+//!
+//! Baseline gates (like simbench): throughput may not halve and p99 may not
+//! triple versus the checked-in `BENCH_serve_baseline.json`; refresh with
+//! `--update-baseline`. Writes `results/BENCH_serve.{txt,md,json}`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use npar_bench::{results, runner, table};
+use npar_serve::{workload::Dataset, Request, Response, Service, Source};
+use npar_sim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Duplicates per unique request in the dup-heavy phase.
+const DUP: usize = 8;
+/// Novel requests submitted in rapid triplicate during the dup-heavy phase
+/// (exercises in-flight dedupe while the fresh simulation runs).
+const NOVEL: u64 = 4;
+
+/// The unique request mix: 24 requests across the four traffic profiles,
+/// all on the paper's K20.
+fn mix() -> Vec<Request> {
+    let mut reqs = Vec::new();
+    let shape = |n: u64, grid: u32, block: u32, launches: u32, streams: u32, salt: u64| Dataset {
+        n,
+        grid,
+        block,
+        launches,
+        streams,
+        salt,
+    };
+    for salt in 0..6 {
+        reqs.push(Request {
+            kernel: "regular-wave".into(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: shape(1 << 14, 24, 128, 4, 1, salt),
+        });
+    }
+    for salt in 0..5 {
+        reqs.push(Request {
+            kernel: "divergent".into(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: shape(1 << 14, 16, 128, 2, 1, salt),
+        });
+        reqs.push(Request {
+            kernel: "dp-storm".into(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: shape(1 << 12, 8, 64, 2, 1, salt),
+        });
+    }
+    for salt in 0..4 {
+        reqs.push(Request {
+            kernel: "stream-storm".into(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: shape(1 << 12, 8, 64, 6, 4, salt),
+        });
+        reqs.push(Request {
+            kernel: "monte-carlo".into(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: shape(1 << 13, 16, 128, 2, 1, salt * 131),
+        });
+    }
+    reqs
+}
+
+/// The novel slice for the dup-heavy phase: salts no `mix()` request uses.
+fn novel_mix() -> Vec<Request> {
+    (0..NOVEL)
+        .map(|i| Request {
+            kernel: "monte-carlo".into(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: Dataset {
+                n: 1 << 13,
+                grid: 16,
+                block: 128,
+                launches: 2,
+                streams: 1,
+                salt: 1_000_003 + i,
+            },
+        })
+        .collect()
+}
+
+/// One measured phase: per-job latencies, wall time, and the response
+/// bytes per content key (for the byte-identity gates).
+struct Phase {
+    wall: f64,
+    latencies_ms: Vec<f64>,
+    sources: Vec<Source>,
+    bytes: BTreeMap<u64, String>,
+}
+
+/// Submit `batch` in order, then collect every response in order. Latency
+/// per job runs submit -> response (queue wait included). Panics on any
+/// shed/timeout/failure — the loadtest sizes its queues so none may occur.
+fn run_phase(service: &Service, batch: &[Request]) -> Phase {
+    let start = Instant::now();
+    let mut pending = Vec::with_capacity(batch.len());
+    for req in batch {
+        let ticket = service
+            .submit(req)
+            .unwrap_or_else(|e| panic!("loadtest submit failed: {e}"));
+        pending.push((ticket, Instant::now()));
+    }
+    let mut latencies_ms = Vec::with_capacity(batch.len());
+    let mut sources = Vec::with_capacity(batch.len());
+    let mut bytes = BTreeMap::new();
+    for (ticket, submitted) in pending {
+        let key = ticket.key;
+        match ticket.wait() {
+            Response::Done { source, report } => {
+                latencies_ms.push(submitted.elapsed().as_secs_f64() * 1e3);
+                sources.push(source);
+                bytes
+                    .entry(key)
+                    .or_insert_with(|| serde_json::to_string(&*report).expect("report serializes"));
+            }
+            other => panic!("loadtest job {key:#018x} not served: {other:?}"),
+        }
+    }
+    Phase {
+        wall: start.elapsed().as_secs_f64(),
+        latencies_ms,
+        sources,
+        bytes,
+    }
+}
+
+/// Percentile over unsorted samples (nearest-rank).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    // IEEE-754 bit patterns order like the values for non-negative floats,
+    // and latencies are non-negative by construction.
+    sorted.sort_unstable_by_key(|v| v.to_bits());
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[derive(Serialize)]
+struct PhaseRow {
+    phase: String,
+    jobs: usize,
+    wall_seconds: f64,
+    throughput_jobs_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    fresh: usize,
+    dedup: usize,
+    cache: usize,
+}
+
+impl PhaseRow {
+    fn new(phase: &str, p: &Phase) -> PhaseRow {
+        let count = |want: Source| p.sources.iter().filter(|&&s| s == want).count();
+        PhaseRow {
+            phase: phase.to_string(),
+            jobs: p.sources.len(),
+            wall_seconds: p.wall,
+            throughput_jobs_per_sec: p.sources.len() as f64 / p.wall.max(1e-9),
+            p50_ms: percentile(&p.latencies_ms, 50.0),
+            p99_ms: percentile(&p.latencies_ms, 99.0),
+            fresh: count(Source::Fresh),
+            dedup: count(Source::Dedup),
+            cache: count(Source::Cache),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Rows {
+    phases: Vec<PhaseRow>,
+    cold_stats: npar_serve::ServeStats,
+    warm_stats: npar_serve::ServeStats,
+    dup_speedup: f64,
+    warm_hit_rate: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BaselineRow {
+    phase: String,
+    throughput_jobs_per_sec: f64,
+    p99_ms: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Baseline {
+    rows: Vec<BaselineRow>,
+}
+
+/// Checked in next to the bench crate, like `BENCH_sim_baseline.json`.
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve_baseline.json")
+}
+
+fn main() {
+    runner::init();
+
+    // The service under test honours the serving flags; the loadtest fixes
+    // what must be fixed for a meaningful benchmark: a cache directory (the
+    // warm phase needs the spill; default under results/), a queue deep
+    // enough that nothing sheds, and no timeout unless one was asked for
+    // (queue wait counts against the deadline, and a benchmark backlog is
+    // not a misbehaving job).
+    let mut cfg = runner::serve_config();
+    if cfg.cache_dir.is_none() {
+        cfg.cache_dir = Some(results::results_dir().join("serve_cache"));
+    }
+    let dir = cfg.cache_dir.clone().expect("cache dir fixed above");
+    if runner::parsed().queue.is_none() {
+        cfg.queue_cap = 1 << 12;
+    }
+    if runner::parsed().job_timeout_ms.is_none() {
+        cfg.timeout = None;
+    }
+    // The cold phase must actually be cold: drop any previous spill.
+    let _ = std::fs::remove_file(npar_serve::cache::spill_path(&dir));
+
+    let uniques = mix();
+    let novels = novel_mix();
+
+    // Phase 1: cold replay — every unique once, simulated fresh.
+    let service = Service::start(cfg.clone());
+    let cold = run_phase(&service, &uniques);
+    assert!(
+        cold.sources.iter().all(|&s| s == Source::Fresh),
+        "cold phase must simulate everything fresh"
+    );
+
+    // Phase 2: dup-heavy replay — DUP copies of each unique (interleaved),
+    // plus the novel slice in rapid triplicate for in-flight dedupe.
+    let mut dup_batch = Vec::new();
+    for _ in 0..DUP {
+        dup_batch.extend(uniques.iter().cloned());
+    }
+    for req in &novels {
+        for _ in 0..3 {
+            dup_batch.push(req.clone());
+        }
+    }
+    let dup = run_phase(&service, &dup_batch);
+    let cold_stats = service.join();
+
+    // Phase 4: warm restart — a fresh fleet boots from the spill and
+    // replays every unique request (mix + novels).
+    let service = Service::start(cfg.clone());
+    let mut warm_batch = uniques.clone();
+    warm_batch.extend(novels.iter().cloned());
+    let warm = run_phase(&service, &warm_batch);
+    let warm_stats = service.join();
+
+    // --- structural gates -------------------------------------------------
+    let mut failed = false;
+
+    let cold_tput = cold.sources.len() as f64 / cold.wall.max(1e-9);
+    let dup_tput = dup.sources.len() as f64 / dup.wall.max(1e-9);
+    let dup_speedup = dup_tput / cold_tput.max(1e-9);
+    if dup_speedup < 3.0 {
+        eprintln!(
+            "REGRESSION: dup-heavy replay {dup_tput:.0} jobs/s is only {dup_speedup:.2}x of cold \
+             {cold_tput:.0} jobs/s (gate: >= 3x)"
+        );
+        failed = true;
+    }
+
+    let warm_hits = warm.sources.iter().filter(|&&s| s == Source::Cache).count();
+    let warm_hit_rate = warm_hits as f64 / warm.sources.len() as f64;
+    if warm_hit_rate < 0.9 {
+        eprintln!(
+            "REGRESSION: warm restart answered only {warm_hits}/{} from the restored cache \
+             (gate: >= 90%)",
+            warm.sources.len()
+        );
+        failed = true;
+    }
+
+    // Byte-identity: every response in the dup and warm phases must match
+    // the cold reference for its key (novels reference their first serve in
+    // the dup phase).
+    let mut reference = cold.bytes.clone();
+    for (key, bytes) in &dup.bytes {
+        match reference.get(key) {
+            Some(want) if want != bytes => {
+                eprintln!("REGRESSION: dup-phase report for {key:#018x} differs from cold run");
+                failed = true;
+            }
+            Some(_) => {}
+            None => {
+                reference.insert(*key, bytes.clone());
+            }
+        }
+    }
+    for (key, bytes) in &warm.bytes {
+        match reference.get(key) {
+            Some(want) if want != bytes => {
+                eprintln!("REGRESSION: warm-phase report for {key:#018x} differs from cold run");
+                failed = true;
+            }
+            Some(_) => {}
+            None => {
+                eprintln!("REGRESSION: warm phase served unknown key {key:#018x}");
+                failed = true;
+            }
+        }
+    }
+
+    // Nothing may shed, time out, or fail in a correctly sized loadtest,
+    // and the dup phase must show real in-flight dedupe.
+    for (tag, stats) in [("cold+dup", &cold_stats), ("warm", &warm_stats)] {
+        if stats.shed + stats.timeout + stats.failed > 0 {
+            eprintln!("REGRESSION: {tag} service lost jobs: {stats}");
+            failed = true;
+        }
+    }
+    if cold_stats.deduped == 0 {
+        eprintln!("REGRESSION: rapid novel triplicates produced no in-flight dedupe");
+        failed = true;
+    }
+
+    // --- report -----------------------------------------------------------
+    let rows = Rows {
+        phases: vec![
+            PhaseRow::new("cold", &cold),
+            PhaseRow::new("dup-heavy", &dup),
+            PhaseRow::new("warm", &warm),
+        ],
+        cold_stats,
+        warm_stats,
+        dup_speedup,
+        warm_hit_rate,
+    };
+
+    let mut t = table::Table::new(
+        "Serving load test — cold vs dup-heavy vs warm restart",
+        &[
+            "phase", "jobs", "wall", "jobs/s", "p50", "p99", "fresh", "dedup", "cache",
+        ],
+    );
+    for r in &rows.phases {
+        t.row(vec![
+            r.phase.clone(),
+            r.jobs.to_string(),
+            table::ms(r.wall_seconds),
+            format!("{:.0}/s", r.throughput_jobs_per_sec),
+            format!("{:.2}ms", r.p50_ms),
+            format!("{:.2}ms", r.p99_ms),
+            r.fresh.to_string(),
+            r.dedup.to_string(),
+            r.cache.to_string(),
+        ]);
+    }
+    results::save("BENCH_serve", &[t], &rows);
+    println!(
+        "dup-heavy speedup {dup_speedup:.1}x | warm hit rate {:.0}% | cold+dup stats: {} | warm stats: {}",
+        warm_hit_rate * 100.0,
+        rows.cold_stats,
+        rows.warm_stats
+    );
+
+    if failed {
+        std::process::exit(1);
+    }
+
+    // --- baseline gate ----------------------------------------------------
+    if runner::update_baseline() {
+        let baseline = Baseline {
+            rows: rows
+                .phases
+                .iter()
+                .map(|r| BaselineRow {
+                    phase: r.phase.clone(),
+                    throughput_jobs_per_sec: r.throughput_jobs_per_sec,
+                    p99_ms: r.p99_ms,
+                })
+                .collect(),
+        };
+        let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+        std::fs::write(baseline_path(), json).expect("write baseline");
+        println!("baseline updated: {}", baseline_path().display());
+        return;
+    }
+
+    match std::fs::read_to_string(baseline_path()) {
+        Ok(text) => {
+            let baseline: Baseline = serde_json::from_str(&text).expect("parse baseline");
+            let mut regressed = false;
+            for b in &baseline.rows {
+                let Some(r) = rows.phases.iter().find(|r| r.phase == b.phase) else {
+                    continue;
+                };
+                // Throughput may not halve (the simbench slack, absorbing
+                // host noise while catching real serving-path breaks)...
+                if r.throughput_jobs_per_sec * 2.0 < b.throughput_jobs_per_sec {
+                    eprintln!(
+                        "REGRESSION: {} throughput {:.0} jobs/s vs baseline {:.0} jobs/s (>2x slower)",
+                        b.phase, r.throughput_jobs_per_sec, b.throughput_jobs_per_sec
+                    );
+                    regressed = true;
+                }
+                // ...and tail latency may not triple (queue-wait dominates
+                // p99 under a deep backlog, so the slack is wider).
+                if b.p99_ms > 0.0 && r.p99_ms > b.p99_ms * 3.0 {
+                    eprintln!(
+                        "REGRESSION: {} p99 {:.2}ms vs baseline {:.2}ms (>3x slower)",
+                        b.phase, r.p99_ms, b.p99_ms
+                    );
+                    regressed = true;
+                }
+            }
+            if regressed {
+                std::process::exit(1);
+            }
+            println!("serving throughput and p99 within baseline gates");
+        }
+        Err(_) => {
+            eprintln!(
+                "no baseline at {} — run with --update-baseline to record one",
+                baseline_path().display()
+            );
+        }
+    }
+}

@@ -4,11 +4,17 @@
 //! [`parse`] and cached: `--check[=warn|strict]`, `--no-memo`,
 //! `--fast-forward=on|off`, `--threads N`, `--timing-threads N`,
 //! `--analytic[=off]`, `--profile[=<path>]`,
-//! `--analyze`, `--no-elide`, and `--update-baseline` (acted on by
-//! `simbench` only, accepted everywhere for uniformity). Unknown or
-//! malformed flags print a usage message to stderr and exit nonzero —
-//! silently ignoring a typo like `--threads=abc` or `--check=bogus` would
-//! run the wrong experiment.
+//! `--analyze`, `--no-elide`, `--update-baseline` (acted on by the gated
+//! benchmarks only, accepted everywhere for uniformity), and the serving
+//! flags `--shards N`, `--queue N`, `--job-timeout-ms N`,
+//! `--cache-dir PATH`, `--cold` (acted on by `npar-serve`/`loadtest` — see
+//! SERVING.md). Unknown or malformed flags print a usage message to stderr
+//! and exit nonzero — silently ignoring a typo like `--threads=abc` or
+//! `--check=bogus` would run the wrong experiment.
+//!
+//! [`KNOWN_FLAGS`] enumerates the full surface; the `docs_check` binary
+//! holds README.md's flags table to it, so a flag added here without a
+//! documented row fails CI.
 
 use std::path::PathBuf;
 use std::sync::OnceLock;
@@ -43,8 +49,22 @@ pub struct Args {
     /// statically proven-clean kernels (on by default; reports are
     /// identical either way).
     pub elide: bool,
-    /// `--update-baseline` (simbench).
+    /// `--update-baseline` (simbench, loadtest, analyze_all).
     pub update_baseline: bool,
+    /// `--shards N`: serve worker shards (npar-serve / loadtest).
+    pub shards: Option<usize>,
+    /// `--queue N`: per-shard admission queue capacity (npar-serve /
+    /// loadtest).
+    pub queue: Option<usize>,
+    /// `--job-timeout-ms N`: cooperative per-job timeout in milliseconds;
+    /// `0` disables timeouts (npar-serve / loadtest).
+    pub job_timeout_ms: Option<u64>,
+    /// `--cache-dir PATH`: persistent serve-cache directory (npar-serve /
+    /// loadtest).
+    pub cache_dir: Option<String>,
+    /// `--cold`: ignore an existing serve spill at boot (still spills on
+    /// shutdown).
+    pub cold: bool,
 }
 
 impl Default for Args {
@@ -60,9 +80,35 @@ impl Default for Args {
             analyze: false,
             elide: true,
             update_baseline: false,
+            shards: None,
+            queue: None,
+            job_timeout_ms: None,
+            cache_dir: None,
+            cold: false,
         }
     }
 }
+
+/// Every flag the shared parser accepts, by leading name. The `docs_check`
+/// binary asserts each appears in README.md's flags table — extending
+/// [`parse`] without extending the docs fails CI with the flag named.
+pub const KNOWN_FLAGS: &[&str] = &[
+    "--check",
+    "--no-memo",
+    "--fast-forward",
+    "--threads",
+    "--timing-threads",
+    "--analytic",
+    "--profile",
+    "--analyze",
+    "--no-elide",
+    "--update-baseline",
+    "--shards",
+    "--queue",
+    "--job-timeout-ms",
+    "--cache-dir",
+    "--cold",
+];
 
 /// One-line-per-flag usage text, printed to stderr on a parse error.
 pub const USAGE: &str = "\
@@ -76,7 +122,12 @@ usage: <experiment> [flags]
   --profile[=<path>]      export npar-prof Chrome traces (see PROFILING.md)
   --analyze               print npar-analyze verdicts and template advice
   --no-elide              disable proof-carrying scan elision (differential)
-  --update-baseline       rewrite the simbench baseline (simbench only)";
+  --update-baseline       rewrite the stored baseline (gated benchmarks)
+  --shards N              serve worker shards (npar-serve/loadtest; SERVING.md)
+  --queue N               per-shard admission queue capacity (npar-serve/loadtest)
+  --job-timeout-ms N      per-job cooperative timeout, 0 disables (npar-serve/loadtest)
+  --cache-dir PATH        persistent serve-cache directory (npar-serve/loadtest)
+  --cold                  ignore an existing serve spill at boot (npar-serve/loadtest)";
 
 /// Parse an argument list (without the binary name). Pure so the error
 /// paths are unit-testable; [`parsed`] wraps it with the
@@ -97,6 +148,7 @@ pub fn parse(args: &[String]) -> Result<Args, String> {
             "--analyze" => out.analyze = true,
             "--no-elide" => out.elide = false,
             "--update-baseline" => out.update_baseline = true,
+            "--cold" => out.cold = true,
             _ => {
                 if let Some(path) = arg.strip_prefix("--profile=") {
                     if path.is_empty() {
@@ -127,6 +179,55 @@ pub fn parse(args: &[String]) -> Result<Args, String> {
                         Ok(n) if n >= 1 => out.timing_threads = Some(n),
                         _ => return Err(format!("invalid --timing-threads value {value:?}")),
                     }
+                } else if arg == "--shards" || arg.starts_with("--shards=") {
+                    let value = match arg.strip_prefix("--shards=") {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "missing value for --shards".to_string())?,
+                    };
+                    match value.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => out.shards = Some(n),
+                        _ => return Err(format!("invalid --shards value {value:?}")),
+                    }
+                } else if arg == "--queue" || arg.starts_with("--queue=") {
+                    let value = match arg.strip_prefix("--queue=") {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "missing value for --queue".to_string())?,
+                    };
+                    match value.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => out.queue = Some(n),
+                        _ => return Err(format!("invalid --queue value {value:?}")),
+                    }
+                } else if arg == "--job-timeout-ms" || arg.starts_with("--job-timeout-ms=") {
+                    let value = match arg.strip_prefix("--job-timeout-ms=") {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "missing value for --job-timeout-ms".to_string())?,
+                    };
+                    match value.trim().parse::<u64>() {
+                        // 0 is legal: it means "no timeout".
+                        Ok(n) => out.job_timeout_ms = Some(n),
+                        _ => return Err(format!("invalid --job-timeout-ms value {value:?}")),
+                    }
+                } else if arg == "--cache-dir" || arg.starts_with("--cache-dir=") {
+                    let value = match arg.strip_prefix("--cache-dir=") {
+                        Some(v) => v.to_string(),
+                        None => it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "missing value for --cache-dir".to_string())?,
+                    };
+                    if value.is_empty() {
+                        return Err("empty --cache-dir path".into());
+                    }
+                    out.cache_dir = Some(value);
                 } else if let Some(v) = arg.strip_prefix("--analytic=") {
                     return Err(format!("invalid --analytic value {v:?}"));
                 } else if let Some(v) = arg.strip_prefix("--check=") {
@@ -227,10 +328,38 @@ pub fn elide_enabled() -> bool {
     parsed().elide
 }
 
-/// Whether `--update-baseline` was passed (simbench rewrites its stored
-/// baseline instead of gating against it).
+/// Whether `--update-baseline` was passed (simbench and loadtest rewrite
+/// their stored baselines instead of gating against them).
 pub fn update_baseline() -> bool {
     parsed().update_baseline
+}
+
+/// A serving configuration honouring the command-line flags (`--shards`,
+/// `--queue`, `--job-timeout-ms`, `--cache-dir`, `--cold`). Flags left off
+/// the command line keep the [`npar_serve::ServeConfig`] defaults, which in
+/// turn read the `NPAR_SHARDS` / `NPAR_SERVE_CACHE` environment variables —
+/// see SERVING.md for the full precedence table.
+pub fn serve_config() -> npar_serve::ServeConfig {
+    let args = parsed();
+    let mut cfg = npar_serve::ServeConfig::default();
+    if let Some(n) = args.shards {
+        cfg.shards = n;
+    }
+    if let Some(n) = args.queue {
+        cfg.queue_cap = n;
+    }
+    if let Some(ms) = args.job_timeout_ms {
+        // 0 means "no timeout" so operators can disable the default.
+        cfg.timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(dir) = &args.cache_dir {
+        cfg.cache_dir = Some(PathBuf::from(dir));
+    }
+    cfg.cold = args.cold;
+    if let Some(n) = args.threads {
+        cfg.gpu_threads = n;
+    }
+    cfg
 }
 
 /// The `--profile[=<path>]` flag: `Some("")` for the default per-run path
@@ -418,6 +547,13 @@ mod tests {
             "--analyze",
             "--no-elide",
             "--update-baseline",
+            "--shards",
+            "4",
+            "--queue=32",
+            "--job-timeout-ms",
+            "500",
+            "--cache-dir=/tmp/spill",
+            "--cold",
         ])
         .unwrap();
         assert_eq!(a.check, CheckLevel::Strict);
@@ -430,6 +566,18 @@ mod tests {
         assert!(a.analyze);
         assert!(!a.elide);
         assert!(a.update_baseline);
+        assert_eq!(a.shards, Some(4));
+        assert_eq!(a.queue, Some(32));
+        assert_eq!(a.job_timeout_ms, Some(500));
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/spill"));
+        assert!(a.cold);
+
+        // --job-timeout-ms 0 is legal (disables the timeout); the serve
+        // defaults stay untouched when the flags are absent.
+        let a = p(&["--job-timeout-ms=0"]).unwrap();
+        assert_eq!(a.job_timeout_ms, Some(0));
+        assert!(a.shards.is_none() && a.queue.is_none() && a.cache_dir.is_none());
+        assert!(!a.cold);
 
         let a = p(&["--check", "--threads=2", "--profile", "--fast-forward=on"]).unwrap();
         assert_eq!(a.check, CheckLevel::Warn);
@@ -462,25 +610,31 @@ mod tests {
             &["--no-meno"],
             &["--analyze=on"],
             &["--no-elide=1"],
+            &["--shards=0"],
+            &["--shards", "abc"],
+            &["--shards"],
+            &["--queue=0"],
+            &["--queue"],
+            &["--job-timeout-ms=never"],
+            &["--job-timeout-ms"],
+            &["--cache-dir="],
+            &["--cache-dir"],
+            &["--cold=1"],
             &["extra-positional"],
         ] {
             let err = p(bad).unwrap_err();
             assert!(!err.is_empty(), "{bad:?} must be rejected");
         }
-        // The usage text names every flag an error could be about.
-        for flag in [
-            "--check",
-            "--no-memo",
-            "--fast-forward",
-            "--threads",
-            "--timing-threads",
-            "--analytic",
-            "--profile",
-            "--analyze",
-            "--no-elide",
-        ] {
-            assert!(USAGE.contains(flag));
+        // The usage text names every flag an error could be about, and
+        // KNOWN_FLAGS (the docs_check contract) covers the same surface.
+        for flag in KNOWN_FLAGS {
+            assert!(USAGE.contains(flag), "{flag} missing from USAGE");
         }
+        assert_eq!(
+            KNOWN_FLAGS.len(),
+            15,
+            "keep KNOWN_FLAGS in sync with parse()"
+        );
     }
 
     #[test]

@@ -153,6 +153,20 @@ impl Serialize for str {
     }
 }
 
+// A `Value` is already the data model; (de)serializing it is the identity.
+// Lets callers hand-build dynamic JSON (mixed-shape records, optional
+// fields) and pass it through `serde_json::to_string` like any other type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

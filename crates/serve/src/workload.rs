@@ -1,0 +1,512 @@
+//! The serving request model and the kernel catalog behind it.
+//!
+//! A [`Request`] is fully declarative — a catalog kernel id, a complete
+//! [`DeviceConfig`], and a [`Dataset`] descriptor — so two requests with the
+//! same content are the same simulation. [`request_key`] exploits that: the
+//! canonical JSON rendering of the request is hashed into a 64-bit
+//! content-addressed key, which is the unit of in-flight dedupe and of the
+//! persistent result cache (SERVING.md).
+//!
+//! The catalog covers the traffic mix ROADMAP item 4 asks the service to be
+//! honest about: a cache-friendly regular wave, a fully divergent sweep, a
+//! dynamic-parallelism storm, a HyperQ-style multi-stream storm, and a
+//! Monte-Carlo-style batch of many small independent replications (the
+//! "multiple replications in parallel" profile from PAPERS.md). Every
+//! kernel's control flow is a pure function of thread ids and the dataset
+//! `salt` — never of global-memory *values* — so a request's `Report` is
+//! independent of whatever previously ran on the worker's `Gpu`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use npar_sim::{
+    DeviceConfig, GBuf, Gpu, KernelRef, LaunchConfig, SimError, Stream, ThreadCtx, ThreadKernel,
+};
+use serde::{Deserialize, Serialize};
+
+/// Catalog kernel ids, in the order SERVING.md documents them.
+pub const KERNELS: [&str; 5] = [
+    "regular-wave",
+    "divergent",
+    "dp-storm",
+    "stream-storm",
+    "monte-carlo",
+];
+
+/// Per-shard queue and validation cap on `grid × block` threads per launch.
+const MAX_THREADS_PER_LAUNCH: u64 = 1 << 22;
+/// Validation cap on launches per request.
+const MAX_LAUNCHES: u32 = 256;
+/// Validation cap on host streams per request.
+const MAX_STREAMS: u32 = 32;
+
+/// Dataset descriptor: the shape of the work a request asks for. All fields
+/// participate in the content key, so e.g. two Monte-Carlo batches that
+/// differ only in `salt` are distinct requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Problem size (elements); kernels index scratch buffers modulo this.
+    pub n: u64,
+    /// Blocks per launch.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Kernel launches the request batches before one synchronize.
+    pub launches: u32,
+    /// Host streams the launches round-robin across (`stream-storm`; the
+    /// other kernels launch into the default stream and ignore this).
+    pub streams: u32,
+    /// Divergence / replication seed. Folded into per-thread trip counts,
+    /// so distinct salts produce structurally distinct traces.
+    pub salt: u64,
+}
+
+impl Default for Dataset {
+    fn default() -> Self {
+        Dataset {
+            n: 1 << 14,
+            grid: 16,
+            block: 128,
+            launches: 2,
+            streams: 1,
+            salt: 0,
+        }
+    }
+}
+
+/// One simulation request: everything needed to reproduce the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Catalog kernel id (one of [`KERNELS`]).
+    pub kernel: String,
+    /// Full device configuration the simulation runs under.
+    pub device: DeviceConfig,
+    /// Work-shape descriptor.
+    pub dataset: Dataset,
+}
+
+impl Request {
+    /// A request for catalog kernel `kernel` on the paper's K20 with the
+    /// default dataset shape.
+    pub fn new(kernel: &str) -> Self {
+        Request {
+            kernel: kernel.to_string(),
+            device: DeviceConfig::kepler_k20(),
+            dataset: Dataset::default(),
+        }
+    }
+}
+
+// FxHash-style string hashing (same constants as the memo fingerprints):
+// deterministic across processes, unlike `DefaultHasher`, which the
+// persistent cache requires — spilled keys must mean the same thing to the
+// process that restores them.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+fn fx(bytes: &[u8]) -> u64 {
+    let mut h = SEED;
+    for &b in bytes {
+        h = (h.rotate_left(5) ^ u64::from(b)).wrapping_mul(K);
+    }
+    h
+}
+
+/// The 64-bit content-addressed key of a request: a hash of its canonical
+/// JSON rendering (field order is declaration order, so the rendering — and
+/// the key — is canonical). Identical requests collide by construction;
+/// a hash collision between *different* requests would serve the wrong
+/// cached report, the same (accepted, differential-tested) risk posture as
+/// the DESIGN.md §8 fingerprint keys.
+pub fn request_key(req: &Request) -> u64 {
+    let text = serde_json::to_string(req).expect("request JSON is infallible");
+    fx(text.as_bytes())
+}
+
+/// The device signature memo spills are grouped by: a hash of the canonical
+/// `DeviceConfig` JSON, rendered as fixed-width hex. Memo entries replay
+/// saved timing verbatim, so a snapshot must never be imported into a `Gpu`
+/// with a different configuration.
+pub fn device_sig(device: &DeviceConfig) -> String {
+    let text = serde_json::to_string(device).expect("device JSON is infallible");
+    format!("{:016x}", fx(text.as_bytes()))
+}
+
+/// Validate a request before admission: unknown kernel ids and absurd
+/// shapes are rejected at submit time (`SubmitError::Invalid`) instead of
+/// occupying a worker.
+pub fn validate(req: &Request) -> Result<(), String> {
+    if !KERNELS.contains(&req.kernel.as_str()) {
+        return Err(format!(
+            "unknown kernel {:?} (catalog: {})",
+            req.kernel,
+            KERNELS.join(", ")
+        ));
+    }
+    let d = &req.dataset;
+    if d.grid == 0 || d.block == 0 || d.launches == 0 || d.n == 0 {
+        return Err("dataset dims must be nonzero".into());
+    }
+    if u64::from(d.grid) * u64::from(d.block) > MAX_THREADS_PER_LAUNCH {
+        return Err(format!(
+            "grid {} x block {} exceeds {MAX_THREADS_PER_LAUNCH} threads per launch",
+            d.grid, d.block
+        ));
+    }
+    if d.launches > MAX_LAUNCHES {
+        return Err(format!("launches {} > {MAX_LAUNCHES}", d.launches));
+    }
+    if d.streams == 0 || d.streams > MAX_STREAMS {
+        return Err(format!("streams {} outside 1..={MAX_STREAMS}", d.streams));
+    }
+    Ok(())
+}
+
+// --- catalog kernels -----------------------------------------------------
+
+/// Regular wave: identical heavy-tailed trip ramp in every block (the
+/// thread-mapped loop template on a regular input). All blocks after the
+/// first replay from the memo cache.
+struct RegularWave {
+    x: GBuf<f32>,
+    y: GBuf<f32>,
+}
+
+impl ThreadKernel for RegularWave {
+    fn name(&self) -> &str {
+        "serve-regular-wave"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        let i = t.global_id();
+        let lane = t.thread_idx() as usize % 32;
+        let trips = if lane >= 28 { 8 + (lane - 28) * 16 } else { 3 };
+        for j in 0..trips {
+            t.ld(&self.x, i * 2 + lane * 499 + j);
+            t.compute(1);
+        }
+        t.st(&self.y, i);
+    }
+}
+
+/// Fully divergent sweep: per-thread trip counts and scattered reads keyed
+/// by the dataset salt, so neither the memo cache nor a repeat launch hits.
+struct DivergentSweep {
+    n: usize,
+    salt: u64,
+    data: GBuf<f32>,
+}
+
+impl ThreadKernel for DivergentSweep {
+    fn name(&self) -> &str {
+        "serve-divergent"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        let i = t.global_id() as u64 + self.salt;
+        let trips = i.wrapping_mul(2_654_435_761) % 23;
+        for j in 0..trips {
+            let at = i.wrapping_mul(7_919).wrapping_add(j.wrapping_mul(104_729));
+            t.ld(&self.data, (at % self.n as u64) as usize);
+            t.compute(1);
+        }
+    }
+}
+
+/// Child grid of the DP storm: a short regular sweep.
+struct StormChild {
+    data: GBuf<f32>,
+}
+
+impl ThreadKernel for StormChild {
+    fn name(&self) -> &str {
+        "serve-dp-child"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        let i = t.global_id();
+        for j in 0..3 {
+            t.ld(&self.data, i + j * t.grid_threads());
+            t.compute(1);
+        }
+        t.st(&self.data, i);
+    }
+}
+
+/// DP storm parent: block leaders fire-and-forget child grids, with a
+/// salt-dependent divergence tail so distinct salts stay distinct work.
+struct StormParent {
+    child: KernelRef,
+    salt: u64,
+}
+
+impl ThreadKernel for StormParent {
+    fn name(&self) -> &str {
+        "serve-dp-storm"
+    }
+    fn parallel_trace(&self) -> bool {
+        // Fire-and-forget launches joined at grid completion only.
+        true
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        if t.is_leader() {
+            t.launch(&self.child, LaunchConfig::new(4, 64), Stream::Default);
+        }
+        let spin = (t.global_id() as u64 + self.salt) % 5;
+        t.compute(1 + spin as u32);
+    }
+}
+
+/// Uniform short kernel for the multi-stream storm: tiny identical traces
+/// whose grids overlap across host streams (HyperQ profile; the partitioned
+/// timing pass commits one domain per stream).
+struct StreamBurst {
+    data: GBuf<f32>,
+}
+
+impl ThreadKernel for StreamBurst {
+    fn name(&self) -> &str {
+        "serve-stream-storm"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        let i = t.global_id();
+        t.ld(&self.data, i);
+        t.compute(2);
+        t.st(&self.data, i);
+    }
+}
+
+/// One Monte-Carlo replication batch: each warp walks an independent
+/// replication whose path length comes from an LCG over (salt, warp id) —
+/// many small independent sims, mildly divergent across warps, uniform
+/// within one (the PAPERS.md warp-per-replication packing).
+struct MonteCarlo {
+    out: GBuf<f32>,
+    salt: u64,
+}
+
+impl ThreadKernel for MonteCarlo {
+    fn name(&self) -> &str {
+        "serve-monte-carlo"
+    }
+    fn parallel_trace(&self) -> bool {
+        true
+    }
+    fn run_thread(&self, t: &mut ThreadCtx<'_, '_>) {
+        let warp = t.global_id() / 32;
+        let steps = self
+            .salt
+            .wrapping_add(warp as u64)
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407)
+            >> 58; // top 6 bits: 0..=63 steps
+        for s in 0..steps {
+            t.compute(2);
+            if s % 4 == 0 {
+                t.ld(&self.out, warp);
+            }
+        }
+        if t.thread_idx() % 32 == 0 {
+            t.st(&self.out, warp);
+        }
+    }
+}
+
+/// Outcome of driving one request's launch batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drive {
+    /// Every launch was queued; the caller synchronizes and keeps the
+    /// report.
+    Completed,
+    /// The cooperative deadline passed between launches; the caller
+    /// synchronizes to flush the partial batch and discards it.
+    DeadlineHit,
+}
+
+/// Queue `req`'s launch batch on `gpu`, checking the cooperative `deadline`
+/// between launches (a launch in progress is never interrupted — see
+/// SERVING.md on timeout semantics). Does **not** synchronize; the caller
+/// owns the report or the discard.
+pub fn drive(gpu: &mut Gpu, req: &Request, deadline: Option<Instant>) -> Result<Drive, SimError> {
+    let d = &req.dataset;
+    let cfg = LaunchConfig::new(d.grid, d.block);
+    let threads = cfg.total_threads() as usize;
+    let over = |deadline: Option<Instant>| deadline.is_some_and(|dl| Instant::now() > dl);
+    match req.kernel.as_str() {
+        "regular-wave" => {
+            let x = gpu.alloc::<f32>(threads * 2 + 31 * 499 + 200);
+            let y = gpu.alloc::<f32>(threads);
+            let k = Arc::new(RegularWave { x, y });
+            for _ in 0..d.launches {
+                if over(deadline) {
+                    return Ok(Drive::DeadlineHit);
+                }
+                gpu.launch(k.clone(), cfg)?;
+            }
+        }
+        "divergent" => {
+            let n = d.n as usize;
+            let data = gpu.alloc::<f32>(n);
+            for l in 0..d.launches {
+                if over(deadline) {
+                    return Ok(Drive::DeadlineHit);
+                }
+                let k = Arc::new(DivergentSweep {
+                    n,
+                    salt: d.salt.wrapping_add(u64::from(l)),
+                    data,
+                });
+                gpu.launch(k, cfg)?;
+            }
+        }
+        "dp-storm" => {
+            let data = gpu.alloc::<f32>(4 * 64 * 3 + 4 * 64);
+            let child: KernelRef = Arc::new(StormChild { data });
+            let k = Arc::new(StormParent {
+                child,
+                salt: d.salt,
+            });
+            for _ in 0..d.launches {
+                if over(deadline) {
+                    return Ok(Drive::DeadlineHit);
+                }
+                gpu.launch(k.clone(), cfg)?;
+            }
+        }
+        "stream-storm" => {
+            let data = gpu.alloc::<f32>(threads);
+            let k = Arc::new(StreamBurst { data });
+            for s in 0..d.streams {
+                for _ in 0..d.launches {
+                    if over(deadline) {
+                        return Ok(Drive::DeadlineHit);
+                    }
+                    gpu.launch_in(k.clone(), cfg, Stream::Slot(s))?;
+                }
+            }
+        }
+        "monte-carlo" => {
+            let warps = threads.div_ceil(32);
+            let out = gpu.alloc::<f32>(warps.max(1));
+            for l in 0..d.launches {
+                if over(deadline) {
+                    return Ok(Drive::DeadlineHit);
+                }
+                let k = Arc::new(MonteCarlo {
+                    out,
+                    salt: d.salt.wrapping_add(u64::from(l) << 32),
+                });
+                gpu.launch(k, cfg)?;
+            }
+        }
+        other => unreachable!("validate() admits only catalog kernels, got {other:?}"),
+    }
+    Ok(Drive::Completed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_content_addressed() {
+        let a = Request::new("regular-wave");
+        let mut b = Request::new("regular-wave");
+        assert_eq!(request_key(&a), request_key(&b));
+        b.dataset.salt = 1;
+        assert_ne!(request_key(&a), request_key(&b));
+        let c = Request::new("divergent");
+        assert_ne!(request_key(&a), request_key(&c));
+    }
+
+    #[test]
+    fn device_sig_distinguishes_configs() {
+        assert_eq!(
+            device_sig(&DeviceConfig::kepler_k20()),
+            device_sig(&DeviceConfig::kepler_k20())
+        );
+        assert_ne!(
+            device_sig(&DeviceConfig::kepler_k20()),
+            device_sig(&DeviceConfig::tiny())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_bad_requests() {
+        assert!(validate(&Request::new("regular-wave")).is_ok());
+        assert!(validate(&Request::new("nope")).is_err());
+        let mut r = Request::new("divergent");
+        r.dataset.grid = 0;
+        assert!(validate(&r).is_err());
+        let mut r = Request::new("divergent");
+        r.dataset.launches = MAX_LAUNCHES + 1;
+        assert!(validate(&r).is_err());
+        let mut r = Request::new("stream-storm");
+        r.dataset.streams = 0;
+        assert!(validate(&r).is_err());
+        let mut r = Request::new("monte-carlo");
+        r.dataset.grid = 1 << 16;
+        r.dataset.block = 1 << 10;
+        assert!(validate(&r).is_err());
+    }
+
+    #[test]
+    fn request_json_roundtrip() {
+        let mut r = Request::new("monte-carlo");
+        r.dataset.salt = 0xdead_beef;
+        r.device = DeviceConfig::tiny();
+        let text = serde_json::to_string(&r).unwrap();
+        let back: Request = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(request_key(&r), request_key(&back));
+    }
+
+    #[test]
+    fn every_catalog_kernel_drives_and_reports() {
+        for kernel in KERNELS {
+            let mut req = Request::new(kernel);
+            req.device = DeviceConfig::tiny();
+            req.dataset = Dataset {
+                n: 256,
+                grid: 2,
+                block: 64,
+                launches: 1,
+                streams: 2,
+                salt: 7,
+            };
+            let mut gpu = Gpu::new(req.device.clone(), Default::default());
+            assert_eq!(
+                drive(&mut gpu, &req, None).unwrap(),
+                Drive::Completed,
+                "{kernel}"
+            );
+            let report = gpu.synchronize();
+            assert!(report.cycles > 0.0, "{kernel} produced no work");
+        }
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops_between_launches() {
+        let mut req = Request::new("regular-wave");
+        req.device = DeviceConfig::tiny();
+        req.dataset.grid = 2;
+        req.dataset.block = 64;
+        let mut gpu = Gpu::new(req.device.clone(), Default::default());
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            drive(&mut gpu, &req, Some(past)).unwrap(),
+            Drive::DeadlineHit
+        );
+        // The partial batch flushes cleanly.
+        let _ = gpu.synchronize();
+    }
+}

@@ -8,6 +8,7 @@ use crate::engine::{register_grid, Engine, Origin};
 use crate::error::SimError;
 use crate::handle::{GBuf, GlobalAllocator};
 use crate::kernel::{KernelRef, LaunchConfig, Stream};
+use crate::memo::MemoSnapshot;
 use crate::prof::{Collector, Profile};
 use crate::profiler::Report;
 use crate::sched::simulate_full;
@@ -155,6 +156,35 @@ impl Gpu {
     /// Whether alignment memoization is currently enabled.
     pub fn memo_enabled(&self) -> bool {
         self.engine.memo.is_some()
+    }
+
+    /// Export the current memo-cache contents as a serializable
+    /// [`MemoSnapshot`] (DESIGN.md §14). Empty when memoization is
+    /// disabled or nothing has been simulated yet. Entries are sorted by
+    /// key, so the snapshot — and its serialized spill — is deterministic.
+    pub fn export_memo(&self) -> MemoSnapshot {
+        self.engine
+            .memo
+            .as_ref()
+            .map(crate::memo::MemoCache::export)
+            .unwrap_or_default()
+    }
+
+    /// Warm-start the memo cache from a previously exported snapshot.
+    /// Returns the number of entries inserted (zero when memoization is
+    /// disabled; existing in-process entries are never overwritten, and
+    /// the DESIGN.md §8 cache caps still apply).
+    ///
+    /// Snapshots replay saved timing verbatim, so they must come from a
+    /// `Gpu` with the same [`DeviceConfig`] and [`CostModel`] — callers
+    /// key spills by a device signature. Replay is bit-identical to fresh
+    /// alignment, so a warm-started `Gpu` produces the same `Report`s a
+    /// cold one would.
+    pub fn import_memo(&mut self, snap: &MemoSnapshot) -> usize {
+        match self.engine.memo.as_mut() {
+            Some(cache) => cache.absorb(snap),
+            None => 0,
+        }
     }
 
     /// Enable or disable the timing-pass fast paths — cohort event

@@ -1,0 +1,66 @@
+//! Serving demo: boot a small `npar-serve` fleet, submit a duplicate pair
+//! of requests, and watch the second answer from the cache — byte-identical
+//! to the first, without re-simulating.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+//!
+//! SERVING.md is the full operator guide; this is the 60-second version.
+
+use npar::serve::{request_key, Request, Response, ServeConfig, Service, Source};
+
+fn main() {
+    // Two shards, in-memory only (no cache_dir: nothing spills to disk).
+    let service = Service::start(ServeConfig {
+        shards: 2,
+        cache_dir: None,
+        ..ServeConfig::default()
+    });
+
+    // A Monte-Carlo replication batch on the paper's K20. Requests are
+    // fully declarative, so this prints as one JSON line you could pipe
+    // straight into the `npar-serve` binary's stdin.
+    let mut req = Request::new("monte-carlo");
+    req.dataset.salt = 7;
+    println!("request ({:#018x}):", request_key(&req));
+    println!("  {}\n", serde_json::to_string(&req).unwrap());
+
+    // Submit the same request twice. The first simulates; the second is
+    // answered from the result cache (or deduped onto the first if it is
+    // still in flight) — either way, no second simulation.
+    let first = service.submit(&req).unwrap().wait();
+    let second = service.submit(&req).unwrap().wait();
+
+    let (
+        Response::Done {
+            source: s1,
+            report: r1,
+        },
+        Response::Done {
+            source: s2,
+            report: r2,
+        },
+    ) = (&first, &second)
+    else {
+        panic!("both submissions must be served");
+    };
+    println!(
+        "first  answered: {s1:?} — {:.3} ms modeled",
+        r1.seconds * 1e3
+    );
+    println!(
+        "second answered: {s2:?} — {:.3} ms modeled",
+        r2.seconds * 1e3
+    );
+    assert_eq!(*s1, Source::Fresh);
+    assert_ne!(*s2, Source::Fresh, "the duplicate may never re-simulate");
+    assert_eq!(
+        serde_json::to_string(&**r1).unwrap(),
+        serde_json::to_string(&**r2).unwrap(),
+        "cached answers are byte-identical to fresh ones"
+    );
+
+    let stats = service.join();
+    println!("\nfleet stats: {stats}");
+}

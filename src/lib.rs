@@ -6,9 +6,12 @@
 //! * [`sim`] — the GPU simulator substrate,
 //! * [`graph`] / [`tree`] — input data structures and generators,
 //! * [`core`] — the parallelization templates (the paper's contribution),
-//! * [`apps`] — the seven benchmark applications plus the sort study.
+//! * [`apps`] — the seven benchmark applications plus the sort study,
+//! * [`serve`] — the sharded simulation service with a persistent memo
+//!   cache (SERVING.md).
 pub use npar_apps as apps;
 pub use npar_core as core;
 pub use npar_graph as graph;
+pub use npar_serve as serve;
 pub use npar_sim as sim;
 pub use npar_tree as tree;
